@@ -1,0 +1,25 @@
+"""Section 4.1 sensitivity: lane turn time (10 / 100 / 500 cycles).
+
+The paper reports that even a 500-cycle turn loses under 2% versus the
+100-cycle assumption, and a 10-cycle turn gains little — the policy is
+insensitive to turn cost at sane sample times.
+"""
+
+from repro.harness import experiments as exp
+
+
+def test_switch_time_sensitivity(ctx, benchmark):
+    result = benchmark.pedantic(
+        exp.switch_time_sensitivity,
+        args=(ctx,),
+        kwargs={"switch_times": (10, 100, 500), "sample_time": 1000},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    fastest = result.mean_speedup[10]
+    slowest = result.mean_speedup[500]
+    # Turn-cost insensitivity: the spread between a 10-cycle and a
+    # 500-cycle lane turn stays small.
+    assert abs(fastest - slowest) < 0.15

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the simulator's hot components.
+
+These measure the substrate itself (event engine throughput, cache fill
+rate, full-system simulation rate) so performance regressions in the
+simulator are caught alongside the figure benches.
+"""
+
+import random
+
+from repro.config import CacheConfig, scaled_config
+from repro.core.builder import run_workload_on
+from repro.memory.cache import NumaClass, SetAssocCache
+from repro.sim.engine import Engine
+from repro.workloads.spec import TINY
+from repro.workloads.synthetic import make_workload
+
+
+def test_engine_event_throughput(benchmark):
+    def run_events():
+        engine = Engine()
+        count = 20_000
+
+        def tick():
+            nonlocal count
+            count -= 1
+            if count > 0:
+                engine.schedule(1, tick)
+
+        engine.schedule(0, tick)
+        engine.run()
+        return engine.events_processed
+
+    events = benchmark(run_events)
+    assert events == 20_000
+
+
+def test_cache_fill_throughput(benchmark):
+    config = CacheConfig(capacity_bytes=2 * 1024 * 1024, ways=16)
+    rng = random.Random(1)
+    lines = [rng.randrange(1 << 20) for _ in range(20_000)]
+
+    def fill_loop():
+        cache = SetAssocCache("bench", config, local_ways=8, remote_ways=8)
+        for i, line in enumerate(lines):
+            cls = NumaClass.LOCAL if i & 1 else NumaClass.REMOTE
+            if not cache.lookup(line):
+                cache.fill(line, cls)
+        return cache.valid_lines
+
+    valid = benchmark(fill_loop)
+    assert 0 < valid <= config.n_lines
+
+
+def test_full_system_simulation_rate(benchmark):
+    workload = make_workload(
+        "bench-micro", pattern="stencil", n_ctas=64, slices_per_cta=4,
+        ops_per_slice=8, iterations=1,
+    )
+    config = scaled_config(n_sockets=4, sms_per_socket=2)
+
+    def simulate():
+        return run_workload_on(config, workload, TINY).cycles
+
+    cycles = benchmark(simulate)
+    assert cycles > 0

@@ -1,0 +1,23 @@
+"""Figure 10: combined dynamic links + NUMA-aware caches, 4 sockets."""
+
+from repro.harness import experiments as exp
+
+
+def test_figure10(ctx, benchmark):
+    result = benchmark.pedantic(
+        exp.figure10, args=(ctx,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    baseline = result.mean("baseline")
+    combined = result.mean("combined")
+    hypothetical = result.mean("hypothetical")
+    # Paper shape: the combined design beats the SW-only baseline for the
+    # interconnect-bound workloads and sits below the unbuildable 4x GPU.
+    gains = [
+        cols["combined"] / cols["baseline"]
+        for cols in result.per_workload.values()
+    ]
+    winners = [g for g in gains if g > 1.1]
+    assert len(winners) >= 5
+    assert combined < hypothetical

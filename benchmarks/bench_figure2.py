@@ -1,0 +1,14 @@
+"""Figure 2: fraction of workloads able to fill 1-8x larger GPUs."""
+
+from repro.harness import experiments as exp
+
+
+def test_figure2(ctx, benchmark):
+    result = benchmark.pedantic(
+        exp.figure2, args=(ctx,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # The paper's qualitative claim: most workloads fill 2-8x larger GPUs.
+    assert result.fill_percent[1] == 100.0
+    assert result.fill_percent[8] >= 75.0

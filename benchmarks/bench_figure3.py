@@ -1,0 +1,27 @@
+"""Figure 3: SW-only locality optimization on a 4-socket NUMA GPU.
+
+Regenerates the three bar groups: traditional policies, the
+locality-optimized runtime, and the hypothetical 4x single GPU, for all
+41 workloads.
+"""
+
+from repro.harness import experiments as exp
+from repro.metrics.report import arithmetic_mean
+
+
+def test_figure3(ctx, benchmark):
+    result = benchmark.pedantic(
+        exp.figure3, args=(ctx,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    locality = [r.locality for r in result.rows]
+    traditional = [r.traditional for r in result.rows]
+    # Paper shape: locality-optimized beats traditional on average and the
+    # traditional NUMA GPU cannot match a single GPU.
+    assert arithmetic_mean(locality) > arithmetic_mean(traditional)
+    assert arithmetic_mean(traditional) < 1.0
+    # Grey-box workloads scale best with SW only.
+    grey_eff = [r.sw_efficiency for r in result.rows if r.grey_box]
+    rest_eff = [r.sw_efficiency for r in result.rows if not r.grey_box]
+    assert arithmetic_mean(grey_eff) > arithmetic_mean(rest_eff)

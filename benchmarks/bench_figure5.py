@@ -1,0 +1,17 @@
+"""Figure 5: asymmetric link utilization profile for HPC-HPGMG-UVM."""
+
+from repro.harness import experiments as exp
+from repro.metrics.report import arithmetic_mean
+
+
+def test_figure5(ctx, benchmark):
+    result = benchmark.pedantic(
+        exp.figure5, args=(ctx,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # The figure's point: per-GPU ingress and egress utilization diverge.
+    assert result.profiles
+    assert result.kernel_launch_times
+    mean_gap = arithmetic_mean(list(result.asymmetry.values()))
+    assert mean_gap > 0.05

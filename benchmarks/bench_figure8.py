@@ -1,0 +1,20 @@
+"""Figure 8: the four cache organizations on the 32-workload study set."""
+
+from repro.harness import experiments as exp
+
+
+def test_figure8(ctx, benchmark):
+    result = benchmark.pedantic(
+        exp.figure8, args=(ctx,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    static = result.mean_speedup("static_rc")
+    shared = result.mean_speedup("shared_coherent")
+    numa = result.mean_speedup("numa_aware")
+    # Paper shape: GPU-side coherent caching beats static partitioning,
+    # which beats (or ties) the memory-side baseline; the NUMA-aware
+    # organization is at the top.
+    assert shared > static
+    assert numa > static
+    assert numa > 1.0

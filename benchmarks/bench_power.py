@@ -1,0 +1,21 @@
+"""Section 6: interconnect power at 10 pJ/b, baseline vs NUMA-aware.
+
+The paper estimates ~30 W of communication power for the locality-
+optimized 4-GPU baseline and ~14 W after the NUMA-aware optimizations
+(geometric means over all 41 workloads), i.e. the optimizations roughly
+halve communication power by eliminating inter-GPU traffic.
+"""
+
+from repro.harness import experiments as exp
+
+
+def test_power(ctx, benchmark):
+    result = benchmark.pedantic(
+        exp.power_analysis, args=(ctx,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    baseline = result.geomean("baseline_w")
+    numa = result.geomean("numa_aware_w")
+    # The NUMA-aware design moves fewer bytes across the switch.
+    assert numa < baseline

@@ -1,0 +1,10 @@
+"""Table 1: simulation parameters (rendered from the config layer)."""
+
+from repro.harness import experiments as exp
+
+
+def test_table1(ctx, benchmark):
+    result = benchmark.pedantic(exp.table1, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert len(result.rows) >= 7

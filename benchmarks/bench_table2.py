@@ -1,0 +1,10 @@
+"""Table 2: per-workload time-weighted CTAs and memory footprints."""
+
+from repro.harness import experiments as exp
+
+
+def test_table2(ctx, benchmark):
+    result = benchmark.pedantic(exp.table2, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert len(result.rows) == 41

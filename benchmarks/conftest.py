@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+All figure benches share one :class:`ExperimentContext` per scale so
+baseline simulations (single GPU, locality-optimized 4-socket, the
+hypothetical GPUs) run once and are reused across figures — exactly how
+the paper's numbers share baselines.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — tiny (default) / small / medium. The scale used
+  for EXPERIMENTS.md is small.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.runner import ExperimentContext
+from repro.workloads.spec import SCALES
+
+_CONTEXTS: dict[str, ExperimentContext] = {}
+
+
+def bench_scale_name() -> str:
+    """Scale preset selected for this benchmark run."""
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+def shared_context() -> ExperimentContext:
+    """The process-wide experiment context for the selected scale."""
+    name = bench_scale_name()
+    if name not in _CONTEXTS:
+        _CONTEXTS[name] = ExperimentContext(scale=SCALES[name])
+    return _CONTEXTS[name]
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return shared_context()

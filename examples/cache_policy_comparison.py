@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Compare the four Figure 7 cache organizations on selected workloads.
+
+For each workload, runs the 4-socket NUMA GPU with:
+
+(a) memory-side local-only L2 (baseline),
+(b) static 50/50 remote-cache split,
+(c) GPU-side shared coherent L1+L2,
+(d) NUMA-aware dynamically partitioned L1+L2,
+
+and prints the Figure 8-style speedups plus the partition controller's
+way-quota timeline for one socket.
+
+Usage:
+    python examples/cache_policy_comparison.py [--scale tiny|small|medium]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+from repro import get_workload, scaled_config
+from repro.config import CacheArch
+from repro.core.builder import build_system
+from repro.harness.formatting import format_table
+from repro.workloads.spec import SCALES
+
+DEFAULT_WORKLOADS = ("HPC-MCB", "HPC-RSBench", "Rodinia-Euler3D", "Rodinia-Hotspot")
+
+ARCHS = (
+    ("mem-side L2", CacheArch.MEM_SIDE),
+    ("static R$", CacheArch.STATIC_RC),
+    ("shared coherent", CacheArch.SHARED_COHERENT),
+    ("NUMA-aware", CacheArch.NUMA_AWARE),
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument("--workloads", nargs="*", default=list(DEFAULT_WORKLOADS))
+    args = parser.parse_args()
+    scale = SCALES[args.scale]
+
+    rows = []
+    quota_demo = None
+    for name in args.workloads:
+        workload = get_workload(name)
+        cycles = {}
+        for label, arch in ARCHS:
+            cfg = replace(scaled_config(n_sockets=4), cache_arch=arch)
+            record = arch is CacheArch.NUMA_AWARE and name == args.workloads[0]
+            system = build_system(cfg, record_timelines=record)
+            result = system.run(workload.build_kernels(scale), name)
+            cycles[label] = result.cycles
+            if record and system.cache_controllers:
+                quota_demo = (name, system.cache_controllers[0].timeline)
+        base = cycles["mem-side L2"]
+        rows.append(
+            [name]
+            + [f"{base / cycles[label]:.3f}x" for label, _arch in ARCHS[1:]]
+        )
+
+    print(
+        format_table(
+            ["Workload", "static R$", "shared coherent", "NUMA-aware"],
+            rows,
+            title="Cache organizations vs memory-side L2 (Figure 8 style)",
+        )
+    )
+
+    if quota_demo is not None:
+        name, timeline = quota_demo
+        print()
+        print(f"NUMA-aware L2 remote-way quota over time, socket 0, {name}:")
+        if timeline is not None and len(timeline):
+            points = list(zip(timeline.times, timeline.values))
+            step = max(1, len(points) // 12)
+            for t, ways in points[::step]:
+                bar = "#" * int(ways)
+                print(f"  cycle {t:>9,}: {int(ways):>2}/16 remote ways {bar}")
+        else:
+            print("  (no samples recorded — workload too short)")
+
+
+if __name__ == "__main__":
+    main()

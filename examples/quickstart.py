@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: build a NUMA-aware multi-socket GPU and run one workload.
+
+Runs HPC-MCB (a Monte Carlo CORAL proxy with shared table reads and tally
+reductions) on three systems:
+
+1. a single GPU,
+2. a 4-socket NUMA GPU with the locality-optimized runtime only,
+3. the full NUMA-aware design (dynamic links + NUMA-aware caches),
+
+and prints the speedups, mirroring the paper's headline comparison.
+
+Usage:
+    python examples/quickstart.py [--scale tiny|small|medium]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+from repro import (
+    SMALL,
+    TINY,
+    get_workload,
+    run_workload_on,
+    scaled_config,
+    single_gpu_config,
+)
+from repro.config import CacheArch, LinkPolicy
+from repro.workloads.spec import SCALES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument("--workload", default="HPC-MCB")
+    args = parser.parse_args()
+    scale = SCALES[args.scale]
+
+    workload = get_workload(args.workload)
+    print(f"workload: {workload.name} — {workload.description}")
+    print(f"paper metadata: {workload.paper_avg_ctas} avg CTAs, "
+          f"{workload.paper_footprint_mb} MB footprint")
+    print()
+
+    numa = scaled_config(n_sockets=4)
+    single = single_gpu_config(numa)
+    numa_aware = replace(
+        numa, cache_arch=CacheArch.NUMA_AWARE, link_policy=LinkPolicy.DYNAMIC
+    )
+
+    base = run_workload_on(single, workload, scale)
+    print(f"single GPU:            {base.cycles:>12,} cycles")
+
+    locality = run_workload_on(numa, workload, scale)
+    print(
+        f"4-socket locality-opt: {locality.cycles:>12,} cycles "
+        f"({locality.speedup_over(base):.2f}x, "
+        f"{100 * locality.total_remote_fraction:.0f}% remote accesses)"
+    )
+
+    full = run_workload_on(numa_aware, workload, scale)
+    print(
+        f"4-socket NUMA-aware:   {full.cycles:>12,} cycles "
+        f"({full.speedup_over(base):.2f}x, "
+        f"{full.total_lane_turns} lane turns)"
+    )
+
+
+if __name__ == "__main__":
+    main()

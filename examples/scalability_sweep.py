@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Figure 11-style scalability sweep: 1-8 sockets vs hypothetical GPUs.
+
+For each selected workload, runs the full NUMA-aware design at 2, 4, and
+8 sockets and the unbuildable 2x/4x/8x single GPUs, then prints speedups
+over a single GPU and the NUMA efficiency (NUMA speedup / hypothetical
+speedup) — the paper's headline metric (89%/84%/76%).
+
+Usage:
+    python examples/scalability_sweep.py [--scale tiny|small|medium]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+from repro import (
+    get_workload,
+    hypothetical_config,
+    run_workload_on,
+    scaled_config,
+    single_gpu_config,
+)
+from repro.config import CacheArch, LinkPolicy
+from repro.harness.formatting import format_table
+from repro.metrics.report import arithmetic_mean
+from repro.workloads.spec import SCALES
+
+DEFAULT_WORKLOADS = (
+    "Rodinia-Hotspot",
+    "HPC-MCB",
+    "Rodinia-Srad",
+    "HPC-RSBench",
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument("--workloads", nargs="*", default=list(DEFAULT_WORKLOADS))
+    parser.add_argument("--sockets", nargs="*", type=int, default=[2, 4, 8])
+    args = parser.parse_args()
+    scale = SCALES[args.scale]
+
+    base_cfg = scaled_config(n_sockets=4)
+    single = single_gpu_config(base_cfg)
+
+    rows = []
+    eff_by_k: dict[int, list[float]] = {k: [] for k in args.sockets}
+    for name in args.workloads:
+        workload = get_workload(name)
+        t_single = run_workload_on(single, workload, scale).cycles
+        row: list[object] = [name]
+        for k in args.sockets:
+            numa_cfg = replace(
+                scaled_config(n_sockets=k),
+                cache_arch=CacheArch.NUMA_AWARE,
+                link_policy=LinkPolicy.DYNAMIC,
+            )
+            t_numa = run_workload_on(numa_cfg, workload, scale).cycles
+            t_hypo = run_workload_on(
+                hypothetical_config(base_cfg, k), workload, scale
+            ).cycles
+            numa_speedup = t_single / t_numa
+            hypo_speedup = t_single / t_hypo
+            efficiency = numa_speedup / hypo_speedup if hypo_speedup else 0.0
+            eff_by_k[k].append(efficiency)
+            row.append(f"{numa_speedup:.2f}x/{hypo_speedup:.2f}x ({efficiency:.0%})")
+        rows.append(row)
+
+    headers = ["Workload"] + [f"{k} sockets (NUMA/hypo)" for k in args.sockets]
+    print(format_table(headers, rows, title="NUMA-aware GPU scalability"))
+    print()
+    for k in args.sockets:
+        print(
+            f"{k}-socket mean efficiency vs hypothetical {k}x GPU: "
+            f"{arithmetic_mean(eff_by_k[k]):.0%}"
+        )
+    print("(paper: 89% / 84% / 76% for 2 / 4 / 8 sockets)")
+
+
+if __name__ == "__main__":
+    main()

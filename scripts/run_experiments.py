@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Run every experiment and dump the aggregate numbers to JSON.
+
+This is the script behind EXPERIMENTS.md: it executes all the harness
+drivers at the requested scale and records the means the paper reports.
+
+Usage:
+    python scripts/run_experiments.py [tiny|small|medium] [out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.harness import experiments as E
+from repro.harness.runner import ExperimentContext
+from repro.workloads.spec import SCALES
+
+
+def main() -> None:
+    scale_name = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    out_path = sys.argv[2] if len(sys.argv) > 2 else "experiment_results.json"
+    t0 = time.time()
+    ctx = ExperimentContext(scale=SCALES[scale_name])
+    out: dict = {"scale": scale_name}
+
+    out["figure2"] = E.figure2(ctx).fill_percent
+
+    f3 = E.figure3(ctx)
+    out["figure3"] = {
+        "mean_traditional": sum(r.traditional for r in f3.rows) / len(f3.rows),
+        "mean_locality": sum(r.locality for r in f3.rows) / len(f3.rows),
+        "mean_hypothetical": sum(r.hypothetical for r in f3.rows) / len(f3.rows),
+        "measured_grey": f3.measured_grey_box,
+        "rows": {
+            r.workload: [r.traditional, r.locality, r.hypothetical]
+            for r in f3.rows
+        },
+    }
+    print("fig3 done", round(time.time() - t0), flush=True)
+
+    f5 = E.figure5(ctx)
+    out["figure5"] = {
+        "asymmetry": f5.asymmetry,
+        "kernels": len(f5.kernel_launch_times),
+    }
+
+    sample_times = (500, 1000, 5000, 20000)
+    f6 = E.figure6(ctx, sample_times=sample_times)
+    out["figure6"] = {f"s{s}": f6.mean_speedup(f"s{s}") for s in sample_times}
+    out["figure6"]["2x"] = f6.mean_speedup("2x")
+    out["figure6_best_per_workload"] = {
+        name: max(cols[k] for k in cols if k.startswith("s"))
+        for name, cols in f6.per_workload.items()
+    }
+    print("fig6 done", round(time.time() - t0), flush=True)
+
+    f8 = E.figure8(ctx)
+    out["figure8"] = {
+        c: f8.mean_speedup(c)
+        for c in ("static_rc", "shared_coherent", "numa_aware")
+    }
+    out["figure8_rows"] = f8.per_workload
+    print("fig8 done", round(time.time() - t0), flush=True)
+
+    f9 = E.figure9(ctx)
+    out["figure9"] = {
+        "mean_overhead": f9.mean_overhead,
+        "max_overhead": max(f9.per_workload.values()),
+    }
+
+    f10 = E.figure10(ctx)
+    out["figure10"] = {
+        c: f10.mean(c) for c in ("baseline", "combined", "hypothetical")
+    }
+    print("fig10 done", round(time.time() - t0), flush=True)
+
+    f11 = E.figure11(ctx)
+    out["figure11"] = {
+        str(k): {
+            "speedup": f11.mean_speedup(k),
+            "hypothetical": f11.mean_hypothetical(k),
+            "efficiency": f11.efficiency(k),
+        }
+        for k in (2, 4, 8)
+    }
+    print("fig11 done", round(time.time() - t0), flush=True)
+
+    st = E.switch_time_sensitivity(ctx, switch_times=(10, 100, 500),
+                                   sample_time=1000)
+    out["switch_time"] = st.mean_speedup
+
+    out["writeback"] = E.writeback_sensitivity(ctx).mean_speedup
+
+    pw = E.power_analysis(ctx)
+    out["power"] = {
+        "baseline_w": pw.geomean("baseline_w"),
+        "numa_aware_w": pw.geomean("numa_aware_w"),
+    }
+
+    out["wall_seconds"] = time.time() - t0
+    out["simulations"] = ctx.cached_runs
+    with open(out_path, "w") as handle:
+        json.dump(out, handle, indent=1, default=str)
+    print("ALL DONE", round(time.time() - t0), "->", out_path, flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs where `wheel` is absent.
+
+Offline environments without the `wheel` package cannot use PEP 660
+editable installs; `pip install -e . --no-build-isolation --no-use-pep517`
+falls back to this file. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,151 @@
+"""Command-line interface: run workloads and experiments from a shell.
+
+Installed as the ``repro`` console script::
+
+    repro list                         # the 41 workloads
+    repro run HPC-MCB --sockets 4 --cache numa_aware --links dynamic
+    repro experiment figure8           # any table/figure driver
+    repro trace HPC-MCB out.trace      # record a replayable trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import (
+    CacheArch,
+    CtaPolicy,
+    LinkPolicy,
+    PlacementPolicy,
+    scaled_config,
+)
+from repro.core.builder import run_workload_on
+from repro.harness import experiments
+from repro.harness.runner import ExperimentContext
+from repro.metrics.export import run_to_dict
+from repro.workloads.spec import SCALES
+from repro.workloads.suite import SUITE, get_workload
+from repro.workloads.trace import record_trace, save_trace
+
+#: Experiment drivers reachable from the CLI.
+EXPERIMENTS = {
+    "table1": experiments.table1,
+    "table2": experiments.table2,
+    "figure2": experiments.figure2,
+    "figure3": experiments.figure3,
+    "figure5": experiments.figure5,
+    "figure6": experiments.figure6,
+    "figure8": experiments.figure8,
+    "figure9": experiments.figure9,
+    "figure10": experiments.figure10,
+    "figure11": experiments.figure11,
+    "switch_time": experiments.switch_time_sensitivity,
+    "writeback": experiments.writeback_sensitivity,
+    "power": experiments.power_analysis,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument grammar."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NUMA-aware multi-socket GPU simulator "
+        "(Milic et al., MICRO-50 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 41 workloads")
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("workload")
+    run.add_argument("--sockets", type=int, default=4)
+    run.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    run.add_argument(
+        "--cache",
+        choices=[a.value for a in CacheArch],
+        default=CacheArch.MEM_SIDE.value,
+    )
+    run.add_argument(
+        "--links",
+        choices=[p.value for p in LinkPolicy],
+        default=LinkPolicy.STATIC.value,
+    )
+    run.add_argument(
+        "--placement",
+        choices=[p.value for p in PlacementPolicy],
+        default=PlacementPolicy.FIRST_TOUCH.value,
+    )
+    run.add_argument(
+        "--cta-policy",
+        choices=[p.value for p in CtaPolicy],
+        default=CtaPolicy.CONTIGUOUS.value,
+    )
+
+    exp = sub.add_parser("experiment", help="run a table/figure driver")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+
+    trace = sub.add_parser("trace", help="record a replayable trace")
+    trace.add_argument("workload")
+    trace.add_argument("output")
+    trace.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    return parser
+
+
+def cmd_list() -> int:
+    for name, spec in SUITE.items():
+        print(f"{name:28s} {spec.paper_avg_ctas:>7} CTAs "
+              f"{spec.paper_footprint_mb:>5} MB  {spec.description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    config = replace(
+        scaled_config(n_sockets=args.sockets),
+        cache_arch=CacheArch(args.cache),
+        link_policy=LinkPolicy(args.links),
+        placement=PlacementPolicy(args.placement),
+        cta_policy=CtaPolicy(args.cta_policy),
+    )
+    workload = get_workload(args.workload)
+    result = run_workload_on(config, workload, SCALES[args.scale])
+    for key, value in run_to_dict(result).items():
+        print(f"{key:16s} {value}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    ctx = ExperimentContext(scale=SCALES[args.scale])
+    result = EXPERIMENTS[args.name](ctx)
+    print(result.render())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    trace = record_trace(workload, SCALES[args.scale])
+    save_trace(trace, args.output)
+    print(f"recorded {trace.total_ops()} memory ops across "
+          f"{len(trace.kernels)} kernels -> {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "experiment":
+        return cmd_experiment(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

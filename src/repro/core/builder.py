@@ -1,0 +1,55 @@
+"""High-level constructors: the one-call public API.
+
+:func:`build_system` turns a :class:`SystemConfig` into a ready
+:class:`NumaGpuSystem`; :func:`run_workload_on` runs one workload spec on
+it at a chosen scale. The experiment harness composes these the same way
+user code does.
+"""
+
+from __future__ import annotations
+
+from repro.config import (
+    SystemConfig,
+    hypothetical_config,
+    paper_config,
+    scaled_config,
+    single_gpu_config,
+)
+from repro.gpu.system import NumaGpuSystem
+from repro.metrics.report import RunResult
+from repro.workloads.spec import SMALL, WorkloadScale, WorkloadSpec
+
+
+def build_system(
+    config: SystemConfig | None = None, record_timelines: bool = False
+) -> NumaGpuSystem:
+    """Construct a simulatable system (default: scaled 4-socket)."""
+    if config is None:
+        config = scaled_config()
+    return NumaGpuSystem(config, record_timelines=record_timelines)
+
+
+def run_workload_on(
+    config: SystemConfig,
+    workload: WorkloadSpec,
+    scale: WorkloadScale = SMALL,
+    record_timelines: bool = False,
+) -> RunResult:
+    """Build a fresh system, run one workload, return its RunResult.
+
+    Every run uses a fresh system: caches, page tables, and link state
+    never leak between experiments.
+    """
+    system = build_system(config, record_timelines=record_timelines)
+    kernels = workload.build_kernels(scale)
+    return system.run(kernels, workload_name=workload.name)
+
+
+__all__ = [
+    "build_system",
+    "run_workload_on",
+    "paper_config",
+    "scaled_config",
+    "single_gpu_config",
+    "hypothetical_config",
+]

@@ -1,0 +1,61 @@
+"""Link provisioning policies (Section 4) and their wiring.
+
+Three policies from the paper's evaluation:
+
+* ``STATIC`` — fixed symmetric lanes (the baseline and everything in
+  Sections 3 and 5),
+* ``DYNAMIC`` — per-socket :class:`repro.interconnect.balancer.LinkBalancer`
+  instances turning lanes at runtime,
+* ``DOUBLED`` — statically doubled per-lane bandwidth, Figure 6's red
+  upper-bound bars.
+
+``DOUBLED`` is applied at configuration time (see
+:func:`effective_link_config`); the other two differ only in whether
+balancers are instantiated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import LinkConfig, LinkPolicy, SystemConfig
+from repro.interconnect.balancer import LinkBalancer
+from repro.interconnect.switch import Switch
+from repro.sim.engine import Engine
+
+
+def effective_link_config(config: SystemConfig) -> LinkConfig:
+    """The LinkConfig actually built, accounting for the DOUBLED policy."""
+    if config.link_policy is LinkPolicy.DOUBLED:
+        return replace(config.link, lane_bandwidth=config.link.lane_bandwidth * 2)
+    return config.link
+
+
+def build_balancers(
+    config: SystemConfig,
+    switch: Switch | None,
+    engine: Engine,
+    record_timelines: bool = False,
+    monitor_only: bool = False,
+) -> list[LinkBalancer]:
+    """Instantiate per-socket balancers when the policy calls for them.
+
+    ``monitor_only`` balancers sample and record utilization timelines but
+    never turn lanes — used to capture Figure 5 on the static baseline.
+    """
+    if switch is None:
+        return []
+    wants_balancers = config.link_policy is LinkPolicy.DYNAMIC or monitor_only
+    if not wants_balancers:
+        return []
+    passive = monitor_only and config.link_policy is not LinkPolicy.DYNAMIC
+    return [
+        LinkBalancer(
+            link,
+            engine,
+            config.controllers,
+            record_timeline=record_timelines,
+            monitor_only=passive,
+        )
+        for link in switch.links
+    ]

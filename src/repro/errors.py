@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the simulator derive from :class:`ReproError` so
+callers can catch a single base class. Specific subclasses exist for the
+major subsystems so tests can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an impossible state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or with invalid arguments."""
+
+
+class CacheError(ReproError):
+    """A cache invariant was violated (quota, capacity, or tag state)."""
+
+
+class InterconnectError(ReproError):
+    """A link, lane, or switch invariant was violated."""
+
+
+class PlacementError(ReproError):
+    """A page-placement policy produced an invalid home socket."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is malformed or references unknown data."""
+
+
+class RuntimeLaunchError(ReproError):
+    """The NUMA GPU runtime could not launch or decompose a kernel."""

@@ -1,0 +1,8 @@
+"""GPU hardware model: CTAs, SMs, sockets, and the full system."""
+
+from repro.gpu.cta import CtaExecution, MemOp, Slice
+from repro.gpu.sm import Sm
+from repro.gpu.socket import GpuSocket
+from repro.gpu.system import NumaGpuSystem
+
+__all__ = ["CtaExecution", "MemOp", "Slice", "Sm", "GpuSocket", "NumaGpuSystem"]

@@ -1,0 +1,157 @@
+"""CTA (thread block) execution model.
+
+A CTA is a sequence of *slices*. Each slice bundles some compute cycles
+with a burst of coalesced memory operations (one op = one 128 B line
+access by one warp). The slice completes when its compute time has
+elapsed *and* all of its memory operations have returned; the CTA then
+advances to the next slice. Within a slice at most ``mlp`` operations are
+outstanding at once — this bounded memory-level parallelism is what makes
+throughput latency- and bandwidth-sensitive, the regime every mechanism in
+the paper operates on.
+
+L1 hits complete synchronously (their pipeline latency is folded into the
+slice's compute cycles); only misses travel through the event queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """One coalesced per-warp memory operation."""
+
+    addr: int
+    is_write: bool
+
+
+@dataclass(frozen=True)
+class Slice:
+    """A unit of CTA progress: compute overlapped with a memory burst."""
+
+    compute_cycles: int
+    ops: tuple[MemOp, ...]
+
+
+class MemoryPort(Protocol):
+    """What a CTA needs from its socket: an access entry point."""
+
+    def access(
+        self, sm_index: int, addr: int, is_write: bool, on_done: Callable[[], None]
+    ) -> bool:
+        """Issue one access; True means it completed synchronously."""
+        ...  # pragma: no cover - protocol
+
+
+class CtaExecution:
+    """Runs one CTA's slices on one SM, respecting the MLP bound."""
+
+    __slots__ = (
+        "cta_id",
+        "sm_index",
+        "engine",
+        "port",
+        "mlp",
+        "on_complete",
+        "_slices",
+        "_slice_idx",
+        "_ops",
+        "_op_idx",
+        "_outstanding",
+        "_compute_pending",
+        "_done",
+    )
+
+    def __init__(
+        self,
+        cta_id: int,
+        sm_index: int,
+        slices: list[Slice],
+        engine: Engine,
+        port: MemoryPort,
+        mlp: int,
+        on_complete: Callable[["CtaExecution"], None],
+    ) -> None:
+        self.cta_id = cta_id
+        self.sm_index = sm_index
+        self.engine = engine
+        self.port = port
+        self.mlp = max(1, mlp)
+        self.on_complete = on_complete
+        self._slices = slices
+        self._slice_idx = -1
+        self._ops: tuple[MemOp, ...] = ()
+        self._op_idx = 0
+        self._outstanding = 0
+        self._compute_pending = False
+        self._done = False
+
+    def start(self) -> None:
+        """Begin executing the first slice (call once)."""
+        self._advance()
+
+    # ------------------------------------------------------------------
+    # slice lifecycle
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        self._slice_idx += 1
+        if self._slice_idx >= len(self._slices):
+            self._done = True
+            self.on_complete(self)
+            return
+        current = self._slices[self._slice_idx]
+        self._ops = current.ops
+        self._op_idx = 0
+        self._outstanding = 0
+        self._compute_pending = True
+        self.engine.schedule(current.compute_cycles, self._compute_done)
+        self._issue_ops()
+
+    def _issue_ops(self) -> None:
+        while self._op_idx < len(self._ops) and self._outstanding < self.mlp:
+            op = self._ops[self._op_idx]
+            self._op_idx += 1
+            sync = self.port.access(self.sm_index, op.addr, op.is_write, self._op_done)
+            if not sync:
+                self._outstanding += 1
+
+    def _op_done(self) -> None:
+        self._outstanding -= 1
+        if self._op_idx < len(self._ops):
+            self._issue_ops()
+        self._maybe_finish_slice()
+
+    def _compute_done(self) -> None:
+        self._compute_pending = False
+        self._maybe_finish_slice()
+
+    def _maybe_finish_slice(self) -> None:
+        if (
+            not self._compute_pending
+            and self._outstanding == 0
+            and self._op_idx >= len(self._ops)
+            and not self._done
+        ):
+            self._advance()
+
+    # ------------------------------------------------------------------
+    # introspection (tests)
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once every slice has completed."""
+        return self._done
+
+    @property
+    def outstanding(self) -> int:
+        """Memory operations currently in flight (bounded by ``mlp``)."""
+        return self._outstanding
+
+    @property
+    def current_slice(self) -> int:
+        """Index of the slice being executed (-1 before start)."""
+        return self._slice_idx

@@ -1,0 +1,415 @@
+"""One GPU socket: SMs, L1s, NoC, L2, DRAM, and the link endpoint.
+
+This module implements the full memory access path for every cache
+organization in Figure 7:
+
+* ``MEM_SIDE`` (a): the L2 is memory-side at its home socket — it caches
+  only lines backed by local DRAM and serves both local SMs and incoming
+  remote requests; remote data is cached only in the requester's L1s.
+* ``STATIC_RC`` (b): half of the requester's L2 ways are a GPU-side remote
+  cache (R$); remote reads probe it before crossing the link.
+* ``SHARED_COHERENT`` (c): the whole L2 is GPU-side and coherent; local
+  and remote lines contend for capacity under plain LRU.
+* ``NUMA_AWARE`` (d): like (c) but with per-class way quotas moved at
+  runtime by :class:`repro.core.numa_cache.CachePartitionController`.
+
+Reads coalesce through a socket-level MSHR table (one in-flight fetch per
+line; later missers piggyback), writes are write-through at L1 and either
+forwarded to the home socket or absorbed dirty into a GPU-side write-back
+L2 depending on the organization.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.config import CacheArch, SystemConfig, WritePolicy
+from repro.gpu.cta import CtaExecution, Slice
+from repro.gpu.sm import Sm
+from repro.interconnect.packets import DATA_BYTES, PacketKind
+from repro.interconnect.switch import Switch
+from repro.memory.cache import EvictedLine, NumaClass, SetAssocCache
+from repro.memory.coherence import CoherenceDomain, FlushResult
+from repro.memory.dram import DramChannel
+from repro.memory.page_table import PageTable
+from repro.sim.engine import Engine
+from repro.sim.resource import BandwidthResource
+from repro.sim.stats import StatGroup
+
+OnDone = Callable[[], None]
+
+
+class GpuSocket:
+    """One GPU socket and its slice of the NUMA memory system."""
+
+    def __init__(
+        self,
+        socket_id: int,
+        config: SystemConfig,
+        engine: Engine,
+        page_table: PageTable,
+        switch: Switch | None,
+    ) -> None:
+        self.socket_id = socket_id
+        self.config = config
+        self.engine = engine
+        self.page_table = page_table
+        self.switch = switch
+        gpu = config.gpu
+        self.line_size = gpu.l2.line_size
+        self.arch = config.cache_arch
+        self.write_policy = config.l2_write_policy
+        self.sms = [Sm(socket_id, i, gpu, self.arch) for i in range(gpu.sms)]
+        self.l2 = self._build_l2()
+        self.dram = DramChannel(socket_id, gpu.dram_bandwidth, gpu.dram_latency)
+        self.noc = BandwidthResource(f"noc{socket_id}", gpu.noc_bandwidth)
+        self.noc_latency = gpu.noc_latency
+        self.coherence = CoherenceDomain(
+            socket_id,
+            self.arch,
+            [sm.l1 for sm in self.sms],
+            self.l2,
+            invalidations_enabled=config.coherence_invalidations,
+        )
+        self.stats = StatGroup(f"socket{socket_id}")
+        # Socket-level read MSHRs: line -> list of (sm_index, callback).
+        self._pending_reads: dict[int, list[tuple[int, OnDone]]] = {}
+        # Sub-kernel execution state.
+        self._cta_queue: deque[tuple[int, list[Slice]]] = deque()
+        self._active_ctas = 0
+        self._subkernel_done_cb: Callable[[int], None] | None = None
+        self._subkernel_notified = True
+
+    def _build_l2(self) -> SetAssocCache:
+        gpu = self.config.gpu
+        name = f"l2.{self.socket_id}"
+        if self.arch in (CacheArch.STATIC_RC, CacheArch.NUMA_AWARE):
+            half = max(1, gpu.l2.ways // 2)
+            return SetAssocCache(
+                name, gpu.l2, local_ways=gpu.l2.ways - half, remote_ways=half
+            )
+        return SetAssocCache(name, gpu.l2)
+
+    # ------------------------------------------------------------------
+    # CTA dispatch (sub-kernel execution)
+    # ------------------------------------------------------------------
+    def start_subkernel(
+        self,
+        ctas: list[tuple[int, list[Slice]]],
+        on_done: Callable[[int], None],
+    ) -> None:
+        """Run a block of CTAs on this socket; ``on_done(socket_id)`` fires
+        when the last one completes."""
+        self._cta_queue = deque(ctas)
+        self._active_ctas = 0
+        self._subkernel_done_cb = on_done
+        self._subkernel_notified = False
+        for sm in self.sms:
+            while sm.has_free_slot and self._cta_queue:
+                self._dispatch(sm)
+        self._check_subkernel_done()
+
+    def _dispatch(self, sm: Sm) -> None:
+        cta_id, slices = self._cta_queue.popleft()
+        sm.occupy()
+        self._active_ctas += 1
+        execution = CtaExecution(
+            cta_id=cta_id,
+            sm_index=sm.sm_index,
+            slices=slices,
+            engine=self.engine,
+            port=self,
+            mlp=self.config.gpu.mlp_per_cta,
+            on_complete=self._cta_complete,
+        )
+        execution.start()
+
+    def _cta_complete(self, execution: CtaExecution) -> None:
+        sm = self.sms[execution.sm_index]
+        sm.release()
+        self._active_ctas -= 1
+        self.stats.add("ctas_completed")
+        if self._cta_queue:
+            self._dispatch(sm)
+        self._check_subkernel_done()
+
+    def _check_subkernel_done(self) -> None:
+        if (
+            not self._subkernel_notified
+            and self._active_ctas == 0
+            and not self._cta_queue
+            and self._subkernel_done_cb is not None
+        ):
+            self._subkernel_notified = True
+            self._subkernel_done_cb(self.socket_id)
+
+    # ------------------------------------------------------------------
+    # memory access entry point (MemoryPort protocol)
+    # ------------------------------------------------------------------
+    def access(
+        self, sm_index: int, addr: int, is_write: bool, on_done: OnDone
+    ) -> bool:
+        """Issue one coalesced access; True = completed synchronously."""
+        home, migration_extra = self.page_table.translate(addr, self.socket_id)
+        line = addr // self.line_size
+        numa_class = NumaClass.LOCAL if home == self.socket_id else NumaClass.REMOTE
+        sm = self.sms[sm_index]
+        if numa_class is NumaClass.REMOTE:
+            self.stats.add("remote_accesses")
+        else:
+            self.stats.add("local_accesses")
+        if is_write:
+            # Write-through, no-write-allocate L1: update a present copy
+            # (kept clean) and always forward the write downstream.
+            sm.l1.lookup(line, write=True)
+            self._start_write(line, home, numa_class, migration_extra, on_done)
+            return False
+        if sm.l1.lookup(line):
+            self.stats.add("l1_hits")
+            return True
+        self.stats.add("l1_misses")
+        waiters = self._pending_reads.get(line)
+        if waiters is not None:
+            waiters.append((sm_index, on_done))
+            self.stats.add("reads_coalesced")
+            return False
+        self._pending_reads[line] = [(sm_index, on_done)]
+        start = self.noc.service(self.engine.now, DATA_BYTES)
+        self.engine.schedule_at(
+            start + self.noc_latency + migration_extra,
+            self._read_at_l2,
+            line,
+            home,
+            numa_class,
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def _read_at_l2(self, line: int, home: int, numa_class: NumaClass) -> None:
+        l2_can_hold = numa_class is NumaClass.LOCAL or self.arch is not CacheArch.MEM_SIDE
+        if l2_can_hold and self.l2.lookup(line):
+            self.stats.add("l2_hits")
+            self.engine.schedule(
+                self.config.gpu.l2.hit_latency + self.noc_latency,
+                self._complete_read,
+                line,
+                numa_class,
+            )
+            return
+        self.stats.add("l2_misses")
+        if numa_class is NumaClass.LOCAL:
+            done = self.dram.access(self.engine.now, self.line_size)
+            self.engine.schedule_at(done, self._local_fill, line)
+        else:
+            self.stats.add("remote_read_requests")
+            assert self.switch is not None
+            arrival = self.switch.send(
+                self.engine.now, self.socket_id, home, PacketKind.READ_REQUEST
+            )
+            home_socket = self.switch.links[home].owner
+            self.engine.schedule_at(
+                arrival, home_socket._serve_remote_read, line, self.socket_id
+            )
+
+    def _local_fill(self, line: int) -> None:
+        """DRAM returned a local line: fill L2 and complete waiters."""
+        evicted = self.l2.fill(line, NumaClass.LOCAL)
+        self._handle_l2_eviction(evicted)
+        self.engine.schedule(self.noc_latency, self._complete_read, line, NumaClass.LOCAL)
+
+    def _serve_remote_read(self, line: int, requester: int) -> None:
+        """Home-side service of a remote read (memory side of this socket)."""
+        self.stats.add("remote_reads_served")
+        if self.l2.lookup(line):
+            self.stats.add("l2_hits_for_remote")
+            self.engine.schedule(
+                self.config.gpu.l2.hit_latency, self._respond_remote_read, line, requester
+            )
+            return
+        done = self.dram.access(self.engine.now, self.line_size)
+        self.engine.schedule_at(done, self._home_fill_and_respond, line, requester)
+
+    def _home_fill_and_respond(self, line: int, requester: int) -> None:
+        evicted = self.l2.fill(line, NumaClass.LOCAL)
+        self._handle_l2_eviction(evicted)
+        self._respond_remote_read(line, requester)
+
+    def _respond_remote_read(self, line: int, requester: int) -> None:
+        assert self.switch is not None
+        arrival = self.switch.send(
+            self.engine.now, self.socket_id, requester, PacketKind.READ_RESPONSE
+        )
+        requester_socket = self.switch.links[requester].owner
+        self.engine.schedule_at(arrival, requester_socket._remote_read_response, line)
+
+    def _remote_read_response(self, line: int) -> None:
+        """A remote line arrived back at this (requesting) socket."""
+        if self.arch is not CacheArch.MEM_SIDE:
+            evicted = self.l2.fill(line, NumaClass.REMOTE)
+            self._handle_l2_eviction(evicted)
+        self._complete_read(line, NumaClass.REMOTE)
+
+    def _complete_read(self, line: int, numa_class: NumaClass) -> None:
+        """Fill waiter L1s and fire their callbacks."""
+        waiters = self._pending_reads.pop(line, None)
+        if not waiters:
+            return
+        filled_sms: set[int] = set()
+        for sm_index, on_done in waiters:
+            if sm_index not in filled_sms:
+                self.sms[sm_index].l1.fill(line, numa_class)
+                filled_sms.add(sm_index)
+            on_done()
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def _start_write(
+        self,
+        line: int,
+        home: int,
+        numa_class: NumaClass,
+        migration_extra: int,
+        on_done: OnDone,
+    ) -> None:
+        self.stats.add("writes")
+        start = self.noc.service(self.engine.now, DATA_BYTES)
+        self.engine.schedule_at(
+            start + self.noc_latency + migration_extra,
+            self._write_at_l2,
+            line,
+            home,
+            numa_class,
+            on_done,
+        )
+
+    def _write_at_l2(
+        self, line: int, home: int, numa_class: NumaClass, on_done: OnDone
+    ) -> None:
+        l2_lat = self.config.gpu.l2.hit_latency
+        if numa_class is NumaClass.LOCAL:
+            # Home L2 absorbs the write (write-back, allocate-on-write;
+            # stores are assumed full-line coalesced so no fetch happens).
+            if not self.l2.lookup(line, write=True):
+                evicted = self.l2.fill(line, NumaClass.LOCAL, dirty=True)
+                self._handle_l2_eviction(evicted)
+            if self.write_policy is WritePolicy.WRITE_THROUGH:
+                self.dram.access(self.engine.now, self.line_size, write=True)
+            self.engine.schedule(l2_lat, on_done)
+            return
+        caches_remote_writes = (
+            self.arch in (CacheArch.SHARED_COHERENT, CacheArch.NUMA_AWARE)
+            and self.write_policy is WritePolicy.WRITE_BACK
+        )
+        if caches_remote_writes:
+            if not self.l2.lookup(line, write=True):
+                evicted = self.l2.fill(line, NumaClass.REMOTE, dirty=True)
+                self._handle_l2_eviction(evicted)
+            self.engine.schedule(l2_lat, on_done)
+            return
+        # Forward the write to its home socket; drop any stale local copy
+        # (write-invalidate keeps the R$ / write-through L2 coherent).
+        if self.arch is not CacheArch.MEM_SIDE:
+            self.l2.drop(line)
+        self.stats.add("remote_writes_forwarded")
+        assert self.switch is not None
+        arrival = self.switch.send(
+            self.engine.now, self.socket_id, home, PacketKind.WRITE_DATA
+        )
+        home_socket = self.switch.links[home].owner
+        self.engine.schedule_at(
+            arrival, home_socket._absorb_remote_write, line, self.socket_id, on_done
+        )
+
+    def _absorb_remote_write(self, line: int, requester: int, on_done: OnDone) -> None:
+        """Home-side absorption of a forwarded write, then ack."""
+        self.stats.add("remote_writes_absorbed")
+        if not self.l2.lookup(line, write=True):
+            evicted = self.l2.fill(line, NumaClass.LOCAL, dirty=True)
+            self._handle_l2_eviction(evicted)
+        if self.write_policy is WritePolicy.WRITE_THROUGH:
+            self.dram.access(self.engine.now, self.line_size, write=True)
+        assert self.switch is not None
+        arrival = self.switch.send(
+            self.engine.now, self.socket_id, requester, PacketKind.WRITE_ACK
+        )
+        self.engine.schedule_at(arrival, on_done)
+
+    # ------------------------------------------------------------------
+    # evictions and coherence flushes
+    # ------------------------------------------------------------------
+    def _handle_l2_eviction(self, evicted: EvictedLine | None) -> None:
+        """Charge write-back traffic for a dirty L2 victim."""
+        if evicted is None or not evicted.dirty:
+            return
+        if evicted.numa_class is NumaClass.LOCAL:
+            self.dram.access(self.engine.now, self.line_size, write=True)
+            return
+        # Remote dirty victim: write back across the link to its home.
+        addr = evicted.line * self.line_size
+        home, _extra = self.page_table.translate(addr, self.socket_id)
+        if home == self.socket_id or self.switch is None:
+            self.dram.access(self.engine.now, self.line_size, write=True)
+            return
+        self.stats.add("remote_writebacks")
+        arrival = self.switch.send(
+            self.engine.now, self.socket_id, home, PacketKind.WRITEBACK_DATA
+        )
+        home_socket = self.switch.links[home].owner
+        self.engine.schedule_at(arrival, home_socket._absorb_writeback, evicted.line)
+
+    def _absorb_writeback(self, line: int) -> None:
+        """Sink a remote write-back into home memory (fire-and-forget)."""
+        if not self.l2.lookup(line, write=True):
+            evicted = self.l2.fill(line, NumaClass.LOCAL, dirty=True)
+            self._handle_l2_eviction(evicted)
+
+    def flush_caches(self) -> FlushResult:
+        """Kernel-boundary software coherence flush (Section 5.2).
+
+        Dirty L2 victims drain to memory: local lines to local DRAM,
+        remote lines across the link to their home — both charged as
+        bandwidth at flush time so the next kernel queues behind them.
+        """
+        result = self.coherence.flush()
+        now = self.engine.now
+        for _ in range(result.local_dirty_lines):
+            self.dram.access(now, self.line_size, write=True)
+        if result.remote_lines and self.switch is not None:
+            self.stats.add("flush_remote_writebacks", len(result.remote_lines))
+            for line in result.remote_lines:
+                home, _extra = self.page_table.translate(
+                    line * self.line_size, self.socket_id
+                )
+                if home == self.socket_id:
+                    self.dram.access(now, self.line_size, write=True)
+                    continue
+                arrival = self.switch.send(
+                    now, self.socket_id, home, PacketKind.WRITEBACK_DATA
+                )
+                home_socket = self.switch.links[home].owner
+                self.engine.schedule_at(arrival, home_socket._absorb_writeback_dram)
+        return result
+
+    def _absorb_writeback_dram(self) -> None:
+        self.dram.access(self.engine.now, self.line_size, write=True)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def l1_hit_rate(self) -> float:
+        """Aggregate L1 hit rate across this socket's SMs."""
+        hits = sum(sm.l1.stats["read_hits"] for sm in self.sms)
+        misses = sum(sm.l1.stats["read_misses"] for sm in self.sms)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of accesses that targeted remote memory."""
+        remote = self.stats["remote_accesses"]
+        total = remote + self.stats["local_accesses"]
+        return remote / total if total else 0.0

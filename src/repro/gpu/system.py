@@ -1,0 +1,116 @@
+"""The NUMA GPU system: sockets + switch + runtime + dynamic controllers.
+
+:class:`NumaGpuSystem` is the top-level simulation object. Construct it
+from a :class:`repro.config.SystemConfig` (usually via
+:func:`repro.core.builder.build_system`), then call :meth:`run` with a
+list of kernels; it returns a :class:`repro.metrics.report.RunResult`.
+"""
+
+from __future__ import annotations
+
+from repro.config import CacheArch, LinkPolicy, SystemConfig
+from repro.core.link_policy import build_balancers, effective_link_config
+from repro.core.numa_cache import CachePartitionController
+from repro.gpu.socket import GpuSocket
+from repro.interconnect.switch import Switch
+from repro.memory.page_table import PageTable
+from repro.metrics.report import RunResult, collect_results
+from repro.runtime.kernel import KernelWork
+from repro.runtime.launcher import Launcher
+from repro.runtime.uvm import UvmManager
+from repro.sim.engine import Engine
+
+
+class NumaGpuSystem:
+    """A multi-socket (or single-socket) GPU built from one config."""
+
+    def __init__(self, config: SystemConfig, record_timelines: bool = False) -> None:
+        self.config = config
+        self.record_timelines = record_timelines
+        self.engine = Engine()
+        self.page_table = PageTable(config)
+        self.uvm = UvmManager(self.page_table)
+        if config.n_sockets > 1:
+            link_config = effective_link_config(config)
+            self.switch: Switch | None = Switch(
+                config.n_sockets, link_config, self.engine
+            )
+        else:
+            self.switch = None
+        self.sockets = [
+            GpuSocket(s, config, self.engine, self.page_table, self.switch)
+            for s in range(config.n_sockets)
+        ]
+        if self.switch is not None:
+            for link, socket in zip(self.switch.links, self.sockets):
+                link.owner = socket
+        self.balancers = build_balancers(
+            config,
+            self.switch,
+            self.engine,
+            record_timelines=record_timelines,
+            monitor_only=record_timelines,
+        )
+        self.cache_controllers: list[CachePartitionController] = []
+        if config.cache_arch is CacheArch.NUMA_AWARE and self.switch is not None:
+            self.cache_controllers = [
+                CachePartitionController(
+                    socket,
+                    self.switch.links[socket.socket_id],
+                    self.engine,
+                    config.controllers,
+                    record_timeline=record_timelines,
+                )
+                for socket in self.sockets
+            ]
+        self._launcher: Launcher | None = None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, kernels: list[KernelWork], workload_name: str = "") -> RunResult:
+        """Execute a kernel sequence to completion and collect results."""
+        for controller in self.cache_controllers:
+            controller.start()
+        dynamic_links = self.config.link_policy is LinkPolicy.DYNAMIC
+        for balancer in self.balancers:
+            balancer.start()
+        self._launcher = Launcher(
+            engine=self.engine,
+            sockets=self.sockets,
+            kernels=kernels,
+            cta_policy=self.config.cta_policy,
+            launch_latency=self.config.kernel_launch_latency,
+            on_kernel_launch=self._on_kernel_launch,
+            on_workload_done=self._on_workload_done,
+        )
+        self._launcher.begin()
+        self.engine.run()
+        assert self._launcher.finished, "engine drained before kernels completed"
+        return collect_results(self, workload_name)
+
+    def _on_kernel_launch(self, kernel_index: int) -> None:
+        for balancer in self.balancers:
+            if not balancer.monitor_only:
+                balancer.on_kernel_launch()
+        for controller in self.cache_controllers:
+            controller.on_kernel_launch()
+
+    def _on_workload_done(self) -> None:
+        for balancer in self.balancers:
+            balancer.stop()
+        for controller in self.cache_controllers:
+            controller.stop()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def launcher(self) -> Launcher | None:
+        """The launcher of the current/most recent run."""
+        return self._launcher
+
+    @property
+    def cycles(self) -> int:
+        """Simulation time so far."""
+        return self.engine.now

@@ -1,0 +1,40 @@
+"""Experiment harness: runner, per-figure drivers, formatting."""
+
+from repro.harness.experiments import (
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    power_analysis,
+    run_all,
+    switch_time_sensitivity,
+    table1,
+    table2,
+    writeback_sensitivity,
+)
+from repro.harness.formatting import format_speedup_bars, format_table
+from repro.harness.runner import ExperimentContext
+
+__all__ = [
+    "figure2",
+    "figure3",
+    "figure5",
+    "figure6",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "power_analysis",
+    "run_all",
+    "switch_time_sensitivity",
+    "table1",
+    "table2",
+    "writeback_sensitivity",
+    "format_speedup_bars",
+    "format_table",
+    "ExperimentContext",
+]

@@ -1,0 +1,61 @@
+"""ASCII rendering of experiment results (paper-style rows).
+
+Every experiment driver returns structured data *and* can print a compact
+table whose rows mirror what the paper's figure shows, so benchmark logs
+double as the reproduction record.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_speedup_bars(
+    pairs: Sequence[tuple[str, float]], width: int = 40, max_value: float | None = None
+) -> str:
+    """A quick horizontal bar chart for terminal output.
+
+    >>> print(format_speedup_bars([("a", 2.0), ("b", 1.0)], width=4))
+    a 2.000 ####
+    b 1.000 ##
+    """
+    if not pairs:
+        return ""
+    peak = max_value if max_value is not None else max(v for _, v in pairs)
+    peak = max(peak, 1e-9)
+    name_width = max(len(name) for name, _ in pairs)
+    lines = []
+    for name, value in pairs:
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{name.ljust(name_width)} {value:.3f} {bar}")
+    return "\n".join(lines)

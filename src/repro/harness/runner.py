@@ -1,0 +1,165 @@
+"""Experiment runner: builds configs, runs workloads, caches results.
+
+Every figure reuses baselines (the single-GPU run, the locality-optimized
+4-socket run, the hypothetical big GPUs), so the runner memoizes
+RunResults by ``(workload, scale, config-key)`` within one
+:class:`ExperimentContext`. A context also pins the scale and the scaled
+system size so every figure of one report is internally consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.config import (
+    CacheArch,
+    CtaPolicy,
+    LinkPolicy,
+    PlacementPolicy,
+    SystemConfig,
+    WritePolicy,
+    hypothetical_config,
+    scaled_config,
+    single_gpu_config,
+)
+from repro.core.builder import run_workload_on
+from repro.metrics.report import RunResult
+from repro.workloads.spec import SMALL, WorkloadScale
+from repro.workloads.suite import get_workload
+
+
+def _config_key(config: SystemConfig) -> tuple:
+    """Hashable identity of a config (dataclasses are nested-frozen)."""
+    return (
+        config.n_sockets,
+        config.gpu.sms,
+        config.gpu.ctas_per_sm,
+        config.gpu.dram_bandwidth,
+        config.gpu.l2.capacity_bytes,
+        config.link.lanes_per_direction,
+        config.link.lane_bandwidth,
+        config.placement,
+        config.cta_policy,
+        config.cache_arch,
+        config.link_policy,
+        config.l2_write_policy,
+        config.coherence_invalidations,
+        config.controllers.link_sample_time,
+        config.controllers.link_switch_time,
+        config.controllers.cache_sample_time,
+        config.kernel_launch_latency,
+    )
+
+
+@dataclass
+class ExperimentContext:
+    """Shared state for one report: base config, scale, result cache."""
+
+    n_sockets: int = 4
+    sms_per_socket: int = 4
+    scale: WorkloadScale = SMALL
+    record_timelines: bool = False
+    _cache: dict[tuple, RunResult] = field(default_factory=dict)
+
+    def base_config(self, n_sockets: int | None = None) -> SystemConfig:
+        """The locality-optimized NUMA baseline (Section 3, mem-side L2)."""
+        return scaled_config(
+            n_sockets=n_sockets if n_sockets is not None else self.n_sockets,
+            sms_per_socket=self.sms_per_socket,
+        )
+
+    # ------------------------------------------------------------------
+    # canonical configurations
+    # ------------------------------------------------------------------
+    def config_single_gpu(self) -> SystemConfig:
+        """One socket with the same per-socket resources."""
+        return single_gpu_config(self.base_config())
+
+    def config_hypothetical(self, factor: int) -> SystemConfig:
+        """The unbuildable ``factor``-x larger single GPU."""
+        return hypothetical_config(self.base_config(), factor)
+
+    def config_traditional(self) -> SystemConfig:
+        """Traditional single-GPU policies on the NUMA system (Fig 3 green)."""
+        return replace(
+            self.base_config(),
+            cta_policy=CtaPolicy.INTERLEAVED,
+            placement=PlacementPolicy.FINE_INTERLEAVE,
+        )
+
+    def config_locality(self, n_sockets: int | None = None) -> SystemConfig:
+        """Locality-optimized runtime, mem-side L2, static links (Fig 3 blue)."""
+        return self.base_config(n_sockets)
+
+    def config_cache(self, arch: CacheArch) -> SystemConfig:
+        """Locality runtime with one of the four Figure 7 organizations."""
+        return replace(self.base_config(), cache_arch=arch)
+
+    def config_dynamic_link(self, sample_time: int | None = None,
+                            switch_time: int | None = None) -> SystemConfig:
+        """Locality runtime with the Section 4 dynamic links."""
+        config = replace(self.base_config(), link_policy=LinkPolicy.DYNAMIC)
+        controllers = config.controllers
+        if sample_time is not None:
+            controllers = replace(controllers, link_sample_time=sample_time)
+        if switch_time is not None:
+            controllers = replace(controllers, link_switch_time=switch_time)
+        return replace(config, controllers=controllers)
+
+    def config_doubled_link(self) -> SystemConfig:
+        """Figure 6's red upper bound: statically doubled link bandwidth."""
+        return replace(self.base_config(), link_policy=LinkPolicy.DOUBLED)
+
+    def config_combined(self, n_sockets: int | None = None) -> SystemConfig:
+        """The full NUMA-aware GPU: dynamic links + NUMA-aware caches."""
+        return replace(
+            self.base_config(n_sockets),
+            cache_arch=CacheArch.NUMA_AWARE,
+            link_policy=LinkPolicy.DYNAMIC,
+        )
+
+    def config_no_invalidations(self) -> SystemConfig:
+        """Figure 9's hypothetical: coherence invalidations ignored."""
+        return replace(
+            self.config_cache(CacheArch.NUMA_AWARE),
+            coherence_invalidations=False,
+        )
+
+    def config_write_through(self) -> SystemConfig:
+        """Section 5.2 sensitivity: write-through L2."""
+        return replace(
+            self.config_cache(CacheArch.NUMA_AWARE),
+            l2_write_policy=WritePolicy.WRITE_THROUGH,
+        )
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, workload_name: str, config: SystemConfig,
+            record_timelines: bool | None = None) -> RunResult:
+        """Run (or fetch from cache) one workload under one config."""
+        record = (
+            self.record_timelines if record_timelines is None else record_timelines
+        )
+        key = (workload_name, self.scale.name, record, _config_key(config))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        workload = get_workload(workload_name)
+        result = run_workload_on(
+            config, workload, self.scale, record_timelines=record
+        )
+        self._cache[key] = result
+        return result
+
+    def speedup(self, workload_name: str, config: SystemConfig,
+                baseline: SystemConfig) -> float:
+        """Speedup of ``config`` over ``baseline`` for one workload."""
+        return self.run(workload_name, config).speedup_over(
+            self.run(workload_name, baseline)
+        )
+
+    @property
+    def cached_runs(self) -> int:
+        """Number of distinct simulations run so far."""
+        return len(self._cache)

@@ -1,0 +1,22 @@
+"""Inter-GPU interconnect: lanes, links, switch, and the load balancer."""
+
+from repro.interconnect.balancer import LinkBalancer
+from repro.interconnect.link import Direction, DuplexLink
+from repro.interconnect.packets import (
+    CONTROL_BYTES,
+    DATA_BYTES,
+    PacketKind,
+    packet_bytes,
+)
+from repro.interconnect.switch import Switch
+
+__all__ = [
+    "LinkBalancer",
+    "Direction",
+    "DuplexLink",
+    "CONTROL_BYTES",
+    "DATA_BYTES",
+    "PacketKind",
+    "packet_bytes",
+    "Switch",
+]

@@ -1,0 +1,158 @@
+"""A GPU-to-switch duplex link built from individually reversible lanes.
+
+Table 1: 8 lanes per direction, 8 GB/s per lane, 128-cycle latency. The
+paper's Section 4 proposal replaces unidirectional lanes with bidirectional
+ones so a link load balancer can *turn* a lane from an underutilized
+direction to a saturated one at runtime.
+
+Modelling choices (documented in DESIGN.md):
+
+* Each direction is one work-conserving :class:`BandwidthResource` whose
+  rate is ``lanes * lane_bandwidth``. Turning a lane changes rates rather
+  than tracking per-lane occupancy — faithful for throughput, which is
+  what the experiment measures.
+* On a turn, the losing direction's rate drops immediately; the gaining
+  direction receives the lane only after ``switch_time`` cycles (the
+  quiesce + resynchronization window).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.config import LinkConfig
+from repro.errors import InterconnectError
+from repro.sim.engine import Engine
+from repro.sim.resource import BandwidthResource, UtilizationWindow
+from repro.sim.stats import StatGroup
+
+
+class Direction(enum.Enum):
+    """Traffic direction relative to the GPU socket."""
+
+    EGRESS = "egress"  # GPU -> switch
+    INGRESS = "ingress"  # switch -> GPU
+
+    @property
+    def other(self) -> "Direction":
+        """The opposite direction."""
+        return Direction.INGRESS if self is Direction.EGRESS else Direction.EGRESS
+
+
+class DuplexLink:
+    """One socket's link to the switch, with dynamic lane assignment."""
+
+    def __init__(self, socket_id: int, config: LinkConfig, engine: Engine) -> None:
+        self.socket_id = socket_id
+        self.config = config
+        self.engine = engine
+        self.latency = config.latency
+        #: back-reference to the owning GpuSocket, wired by the system
+        #: builder; used by peers to deliver packets.
+        self.owner = None
+        self._lanes = {
+            Direction.EGRESS: config.lanes_per_direction,
+            Direction.INGRESS: config.lanes_per_direction,
+        }
+        self._resources = {
+            direction: BandwidthResource(
+                f"link{socket_id}.{direction.value}",
+                config.lanes_per_direction * config.lane_bandwidth,
+            )
+            for direction in Direction
+        }
+        self.windows = {
+            direction: UtilizationWindow(self._resources[direction])
+            for direction in Direction
+        }
+        self.stats = StatGroup(f"link{socket_id}")
+        self._pending_turns = 0
+
+    # ------------------------------------------------------------------
+    # traffic
+    # ------------------------------------------------------------------
+    def transfer(
+        self, now: int, direction: Direction, nbytes: int, latency: int | None = None
+    ) -> int:
+        """Send ``nbytes`` in ``direction``; returns arrival cycle.
+
+        Serializes on the direction's current aggregate lane bandwidth and
+        then pays the propagation latency (the full link latency unless the
+        caller overrides it, as the switch does to split latency per hop).
+        """
+        done = self._resources[direction].service(now, nbytes)
+        self.stats.add(f"{direction.value}_bytes", nbytes)
+        self.stats.add(f"{direction.value}_packets")
+        return done + (self.latency if latency is None else latency)
+
+    def resource(self, direction: Direction) -> BandwidthResource:
+        """The bandwidth server for one direction (controllers watch it)."""
+        return self._resources[direction]
+
+    # ------------------------------------------------------------------
+    # lane management
+    # ------------------------------------------------------------------
+    def lanes(self, direction: Direction) -> int:
+        """Lanes currently assigned to ``direction`` (committed turns only)."""
+        return self._lanes[direction]
+
+    @property
+    def total_lanes(self) -> int:
+        """Physical lanes on the link; conserved across all turns."""
+        return self._lanes[Direction.EGRESS] + self._lanes[Direction.INGRESS]
+
+    def bandwidth(self, direction: Direction) -> float:
+        """Current bytes/cycle for one direction."""
+        return self._resources[direction].rate
+
+    def turn_lane(self, toward: Direction, switch_time: int) -> None:
+        """Reverse one lane so it serves ``toward``.
+
+        The donor direction loses bandwidth immediately; the recipient
+        gains it after ``switch_time`` cycles (quiesce window). Raises
+        :class:`InterconnectError` when the donor is at the minimum.
+        """
+        donor = toward.other
+        if self._lanes[donor] <= self.config.min_lanes:
+            raise InterconnectError(
+                f"link{self.socket_id}: cannot drop {donor.value} below "
+                f"{self.config.min_lanes} lane(s)"
+            )
+        self._lanes[donor] -= 1
+        self._lanes[toward] += 1
+        self._resources[donor].set_rate(
+            max(self._lanes[donor], 1) * self.config.lane_bandwidth
+        )
+        self.stats.add("lane_turns")
+        self._pending_turns += 1
+        gained = self._lanes[toward]
+        self.engine.schedule(switch_time, self._commit_turn, toward, gained)
+
+    def _commit_turn(self, toward: Direction, lanes_at_commit: int) -> None:
+        """Apply the gained lane's bandwidth after the quiesce window."""
+        self._pending_turns -= 1
+        # Rate follows the *current* lane count; if further turns happened
+        # during the quiesce they each scheduled their own commit.
+        self._resources[toward].set_rate(
+            self._lanes[toward] * self.config.lane_bandwidth
+        )
+
+    def is_symmetric(self) -> bool:
+        """True when both directions hold the same number of lanes."""
+        return self._lanes[Direction.EGRESS] == self._lanes[Direction.INGRESS]
+
+    def asymmetry(self) -> int:
+        """Egress lanes minus ingress lanes (signed)."""
+        return self._lanes[Direction.EGRESS] - self._lanes[Direction.INGRESS]
+
+    def reset_symmetric(self) -> None:
+        """Snap back to the symmetric design point (kernel-launch reset).
+
+        The paper reconfigures links to symmetric at every kernel launch.
+        Outstanding quiesce windows are subsumed: rates are set directly.
+        """
+        half = self.total_lanes // 2
+        for direction in Direction:
+            self._lanes[direction] = half
+            self._resources[direction].set_rate(half * self.config.lane_bandwidth)
+        self.stats.add("symmetric_resets")

@@ -1,0 +1,45 @@
+"""Packet kinds and sizes for inter-GPU traffic.
+
+Sizes follow common NVLink-class framing: a 32 B control flit for requests
+and acks, and a data payload of one 128 B cache line plus a 32 B header for
+responses and write packets. The Section 5 controller's "projected
+incoming bandwidth" trick (outgoing request rate x response packet size)
+uses these constants, so they live in one place.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.config import LINE_SIZE
+
+#: Control flit: read request or write acknowledgement (bytes).
+CONTROL_BYTES = 32
+
+#: Data packet: one cache line plus header (bytes).
+DATA_BYTES = LINE_SIZE + CONTROL_BYTES
+
+
+class PacketKind(enum.Enum):
+    """Every packet type that crosses the switch."""
+
+    READ_REQUEST = "read_request"
+    READ_RESPONSE = "read_response"
+    WRITE_DATA = "write_data"
+    WRITE_ACK = "write_ack"
+    WRITEBACK_DATA = "writeback_data"
+
+
+#: Wire size in bytes for each packet kind.
+PACKET_BYTES: dict[PacketKind, int] = {
+    PacketKind.READ_REQUEST: CONTROL_BYTES,
+    PacketKind.READ_RESPONSE: DATA_BYTES,
+    PacketKind.WRITE_DATA: DATA_BYTES,
+    PacketKind.WRITE_ACK: CONTROL_BYTES,
+    PacketKind.WRITEBACK_DATA: DATA_BYTES,
+}
+
+
+def packet_bytes(kind: PacketKind) -> int:
+    """Wire size of one packet of ``kind``."""
+    return PACKET_BYTES[kind]

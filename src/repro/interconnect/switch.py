@@ -1,0 +1,57 @@
+"""The central high-bandwidth switch connecting GPU sockets (Figure 1).
+
+A packet from socket S to socket H crosses two links: S's egress and H's
+ingress, each serializing on its own lane bandwidth and paying half the
+one-way latency. The switch fabric itself is modelled as non-blocking
+(the paper's asymmetric-link proposal explicitly keeps total switch
+bandwidth constant and places the bottleneck at the link lanes).
+"""
+
+from __future__ import annotations
+
+from repro.config import LinkConfig
+from repro.errors import InterconnectError
+from repro.interconnect.link import Direction, DuplexLink
+from repro.interconnect.packets import PacketKind, packet_bytes
+from repro.sim.engine import Engine
+from repro.sim.stats import StatGroup
+
+
+class Switch:
+    """Non-blocking crossbar over per-socket duplex links."""
+
+    def __init__(self, n_sockets: int, config: LinkConfig, engine: Engine) -> None:
+        if n_sockets < 2:
+            raise InterconnectError("a switch needs at least two sockets")
+        self.engine = engine
+        self.links = [DuplexLink(s, config, engine) for s in range(n_sockets)]
+        self.stats = StatGroup("switch")
+
+    def send(self, now: int, src: int, dst: int, kind: PacketKind) -> int:
+        """Route one packet; returns its arrival cycle at ``dst``.
+
+        The packet serializes on the source's egress lanes, then on the
+        destination's ingress lanes; each hop pays half the link latency.
+        """
+        if src == dst:
+            raise InterconnectError(f"switch asked to route {src} -> {dst}")
+        nbytes = packet_bytes(kind)
+        half_latency = self.links[src].latency // 2
+        at_switch = self.links[src].transfer(
+            now, Direction.EGRESS, nbytes, latency=half_latency
+        )
+        arrival = self.links[dst].transfer(
+            at_switch, Direction.INGRESS, nbytes, latency=half_latency
+        )
+        self.stats.add("packets")
+        self.stats.add("bytes", nbytes)
+        return arrival
+
+    def link(self, socket_id: int) -> DuplexLink:
+        """The duplex link of one socket."""
+        return self.links[socket_id]
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved through the switch (counted once per packet)."""
+        return self.stats["bytes"]

@@ -1,0 +1,38 @@
+"""Address arithmetic helpers (lines and pages).
+
+Addresses are plain integers (byte addresses in a flat virtual space owned
+by the workload). These helpers keep line/page math in one place so cache,
+page-table, and placement code never disagree about granularity.
+"""
+
+from __future__ import annotations
+
+from repro.config import LINE_SIZE, PAGE_SIZE
+
+
+def line_of(addr: int, line_size: int = LINE_SIZE) -> int:
+    """Cache-line index containing byte address ``addr``."""
+    return addr // line_size
+
+
+def line_base(addr: int, line_size: int = LINE_SIZE) -> int:
+    """Byte address of the start of the line containing ``addr``."""
+    return (addr // line_size) * line_size
+
+
+def page_of(addr: int, page_size: int = PAGE_SIZE) -> int:
+    """Page index containing byte address ``addr``."""
+    return addr // page_size
+
+def page_base(addr: int, page_size: int = PAGE_SIZE) -> int:
+    """Byte address of the start of the page containing ``addr``."""
+    return (addr // page_size) * page_size
+
+
+def lines_in_range(start: int, nbytes: int, line_size: int = LINE_SIZE) -> range:
+    """All line indices overlapping ``[start, start + nbytes)``."""
+    if nbytes <= 0:
+        return range(0)
+    first = start // line_size
+    last = (start + nbytes - 1) // line_size
+    return range(first, last + 1)

@@ -1,0 +1,295 @@
+"""Set-associative cache with NUMA-class way partitioning (Section 5).
+
+One cache class serves every configuration in Figure 7:
+
+* an unpartitioned LRU cache (quotas = all ways for both classes),
+* a statically partitioned cache (fixed local/remote way quotas — the
+  "Static R$" organization (b)),
+* the dynamically partitioned NUMA-aware cache (d), whose quotas are moved
+  one way at a time by :class:`repro.core.numa_cache.CachePartitionController`.
+
+Partitioning follows the paper's "lazy eviction" rule: *all* ways are
+consulted on lookup, so shrinking a class's quota never flushes lines; the
+quota only steers victim selection on the next fill.
+
+Lines are tagged with a :class:`NumaClass` (LOCAL = backed by this socket's
+DRAM, REMOTE = backed by another socket's DRAM) and a dirty bit. The cache
+is purely functional — latency and bandwidth are charged by the socket
+model — but it reports evictions and invalidation casualties so write-back
+traffic can be charged by the caller.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import CacheConfig
+from repro.errors import CacheError
+from repro.sim.stats import StatGroup
+
+
+class NumaClass(enum.Enum):
+    """Whether a cached line is backed by local or remote DRAM."""
+
+    LOCAL = 0
+    REMOTE = 1
+
+    @property
+    def other(self) -> "NumaClass":
+        """The opposite class."""
+        return NumaClass.REMOTE if self is NumaClass.LOCAL else NumaClass.LOCAL
+
+
+@dataclass
+class EvictedLine:
+    """What fell out of the cache on a fill or invalidation."""
+
+    line: int
+    numa_class: NumaClass
+    dirty: bool
+
+
+class _Way:
+    """One line frame: tag + metadata (plain attributes for speed)."""
+
+    __slots__ = ("line", "numa_class", "dirty", "last_use")
+
+    def __init__(self) -> None:
+        self.line: int | None = None
+        self.numa_class = NumaClass.LOCAL
+        self.dirty = False
+        self.last_use = 0
+
+
+class SetAssocCache:
+    """A set-associative, class-aware, LRU cache.
+
+    Parameters
+    ----------
+    name:
+        Identifier for stats.
+    config:
+        Geometry (sets derived from capacity / ways / line size).
+    local_ways / remote_ways:
+        Initial per-set quotas. They must sum to ``config.ways``. An
+        unpartitioned cache passes ``local_ways=ways, remote_ways=ways``
+        — quotas only bind when their sum equals the associativity;
+        see :meth:`set_quotas`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: CacheConfig,
+        local_ways: int | None = None,
+        remote_ways: int | None = None,
+        write_through: bool = False,
+    ) -> None:
+        self.name = name
+        self.config = config
+        #: write-through caches never hold dirty lines (writes propagate
+        #: immediately), so their invalidations produce no write-backs.
+        self.write_through = write_through
+        self.n_sets = config.n_sets
+        self.n_ways = config.ways
+        self.line_size = config.line_size
+        self._sets: list[list[_Way]] = [
+            [_Way() for _ in range(self.n_ways)] for _ in range(self.n_sets)
+        ]
+        self._where: dict[int, _Way] = {}
+        self._tick = 0
+        self.stats = StatGroup(name)
+        self.partitioned = local_ways is not None
+        if local_ways is None:
+            self._quota = {NumaClass.LOCAL: self.n_ways, NumaClass.REMOTE: self.n_ways}
+        else:
+            if remote_ways is None:
+                remote_ways = self.n_ways - local_ways
+            self.set_quotas(local_ways, remote_ways)
+
+    # ------------------------------------------------------------------
+    # quotas
+    # ------------------------------------------------------------------
+    def set_quotas(self, local_ways: int, remote_ways: int) -> None:
+        """Repartition the per-set way quotas (lazy: no eviction here)."""
+        if local_ways + remote_ways != self.n_ways:
+            raise CacheError(
+                f"{self.name}: quotas {local_ways}+{remote_ways} != {self.n_ways} ways"
+            )
+        if local_ways < 1 or remote_ways < 1:
+            raise CacheError(
+                f"{self.name}: each class needs at least one way "
+                f"(got local={local_ways}, remote={remote_ways})"
+            )
+        self.partitioned = True
+        self._quota = {NumaClass.LOCAL: local_ways, NumaClass.REMOTE: remote_ways}
+        self.stats.add("repartitions")
+
+    def quota(self, numa_class: NumaClass) -> int:
+        """Current per-set way quota for a class."""
+        return self._quota[numa_class]
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def lookup(self, line: int, write: bool = False) -> bool:
+        """Probe for ``line``; updates LRU and dirty state on hit.
+
+        All ways are consulted regardless of partitioning (the paper's
+        lazy-eviction rule), so a line filled under an old quota still
+        hits after repartitioning.
+        """
+        self._tick += 1
+        way = self._where.get(line)
+        if way is None:
+            self.stats.add("write_misses" if write else "read_misses")
+            return False
+        way.last_use = self._tick
+        if write:
+            if not self.write_through:
+                way.dirty = True
+            self.stats.add("write_hits")
+        else:
+            self.stats.add("read_hits")
+        return True
+
+    def contains(self, line: int) -> bool:
+        """Non-mutating probe (no LRU update, no stats)."""
+        return line in self._where
+
+    def fill(
+        self, line: int, numa_class: NumaClass, dirty: bool = False
+    ) -> EvictedLine | None:
+        """Insert ``line``; returns the victim if a valid line was evicted.
+
+        Victim selection under partitioning: if the incoming class already
+        occupies at least its quota in the set, evict the LRU line of that
+        same class; otherwise prefer an invalid frame, then the LRU line of
+        whichever class exceeds its quota, then the global LRU. This
+        implements lazy repartitioning.
+        """
+        self._tick += 1
+        existing = self._where.get(line)
+        if existing is not None:
+            existing.last_use = self._tick
+            existing.dirty = existing.dirty or dirty
+            return None
+        cache_set = self._sets[line % self.n_sets]
+        victim = self._choose_victim(cache_set, numa_class)
+        evicted: EvictedLine | None = None
+        if victim.line is not None:
+            del self._where[victim.line]
+            evicted = EvictedLine(victim.line, victim.numa_class, victim.dirty)
+            self.stats.add("evictions")
+            if victim.dirty:
+                self.stats.add("dirty_evictions")
+        victim.line = line
+        victim.numa_class = numa_class
+        victim.dirty = dirty
+        victim.last_use = self._tick
+        self._where[line] = victim
+        self.stats.add("fills")
+        return evicted
+
+    def _choose_victim(self, cache_set: list[_Way], incoming: NumaClass) -> _Way:
+        """Pick the frame to replace for an incoming line of ``incoming``."""
+        if not self.partitioned:
+            invalid = next((w for w in cache_set if w.line is None), None)
+            if invalid is not None:
+                return invalid
+            return min(cache_set, key=lambda w: w.last_use)
+        counts = {NumaClass.LOCAL: 0, NumaClass.REMOTE: 0}
+        for way in cache_set:
+            if way.line is not None:
+                counts[way.numa_class] += 1
+        if counts[incoming] >= self._quota[incoming]:
+            own = [w for w in cache_set if w.line is not None and w.numa_class is incoming]
+            return min(own, key=lambda w: w.last_use)
+        invalid = next((w for w in cache_set if w.line is None), None)
+        if invalid is not None:
+            return invalid
+        other = incoming.other
+        if counts[other] > self._quota[other]:
+            over = [w for w in cache_set if w.numa_class is other]
+            return min(over, key=lambda w: w.last_use)
+        return min(cache_set, key=lambda w: w.last_use)
+
+    # ------------------------------------------------------------------
+    # invalidation / write-back
+    # ------------------------------------------------------------------
+    def invalidate_all(self) -> list[EvictedLine]:
+        """Bulk software invalidation: drop everything, return dirty lines.
+
+        Dirty victims must be written back by the caller (they represent
+        coherence write-back traffic at kernel boundaries).
+        """
+        dirty: list[EvictedLine] = []
+        count = 0
+        for cache_set in self._sets:
+            for way in cache_set:
+                if way.line is None:
+                    continue
+                count += 1
+                if way.dirty:
+                    dirty.append(EvictedLine(way.line, way.numa_class, True))
+                way.line = None
+                way.dirty = False
+        self._where.clear()
+        self.stats.add("invalidations")
+        self.stats.add("lines_invalidated", count)
+        return dirty
+
+    def drop(self, line: int) -> bool:
+        """Invalidate one line without write-back (write-invalidate path).
+
+        Used when a remote write bypasses a locally cached copy: the stale
+        copy is dropped rather than updated. Returns True when the line was
+        present.
+        """
+        way = self._where.pop(line, None)
+        if way is None:
+            return False
+        way.line = None
+        way.dirty = False
+        self.stats.add("drops")
+        return True
+
+    def invalidate_class(self, numa_class: NumaClass) -> list[EvictedLine]:
+        """Invalidate only lines of one NUMA class (Static R$ flushes)."""
+        dirty: list[EvictedLine] = []
+        count = 0
+        for cache_set in self._sets:
+            for way in cache_set:
+                if way.line is None or way.numa_class is not numa_class:
+                    continue
+                count += 1
+                if way.dirty:
+                    dirty.append(EvictedLine(way.line, way.numa_class, True))
+                del self._where[way.line]
+                way.line = None
+                way.dirty = False
+        self.stats.add("invalidations")
+        self.stats.add("lines_invalidated", count)
+        return dirty
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def occupancy(self) -> dict[NumaClass, int]:
+        """Valid line count per class across the whole cache."""
+        counts = {NumaClass.LOCAL: 0, NumaClass.REMOTE: 0}
+        for way in self._where.values():
+            counts[way.numa_class] += 1
+        return counts
+
+    @property
+    def valid_lines(self) -> int:
+        """Number of valid lines currently resident."""
+        return len(self._where)
+
+    def hit_rate(self) -> float:
+        """Overall hit rate across reads and writes (0.0 when untouched)."""
+        hits = self.stats["read_hits"] + self.stats["write_hits"]
+        total = hits + self.stats["read_misses"] + self.stats["write_misses"]
+        return hits / total if total else 0.0

@@ -1,0 +1,37 @@
+"""DRAM channel model: a bandwidth server plus fixed access latency.
+
+Table 1: 768 GB/s per socket, 100 ns latency. The channel is the
+second-order contention point the NUMA-aware cache controller watches (a
+saturated local DRAM pushes cache capacity back toward local data).
+"""
+
+from __future__ import annotations
+
+from repro.sim.resource import BandwidthResource
+from repro.sim.stats import StatGroup
+
+
+class DramChannel:
+    """One socket's local high-bandwidth memory."""
+
+    def __init__(self, socket_id: int, bandwidth: float, latency: int) -> None:
+        self.socket_id = socket_id
+        self.latency = latency
+        self.resource = BandwidthResource(f"dram{socket_id}", bandwidth)
+        self.stats = StatGroup(f"dram{socket_id}")
+
+    def access(self, now: int, nbytes: int, write: bool = False) -> int:
+        """Admit an access; returns the completion cycle.
+
+        The transfer serializes on the channel bandwidth and then pays the
+        fixed array-access latency.
+        """
+        done = self.resource.service(now, nbytes)
+        self.stats.add("writes" if write else "reads")
+        self.stats.add("bytes", nbytes)
+        return done + self.latency
+
+    @property
+    def bytes_total(self) -> int:
+        """Total bytes moved through this channel."""
+        return self.resource.bytes_total

@@ -1,0 +1,42 @@
+"""Page table wrapper: home lookup plus migration-latency accounting.
+
+The :class:`repro.memory.placement.Placement` policy decides *where* a page
+lives; this module adds the UVM mechanics around it — the one-time
+migration charge a first-touch access pays while the page is copied from
+system memory into the toucher's local DRAM (Section 3).
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.memory.placement import Placement
+from repro.sim.stats import StatGroup
+
+
+class PageTable:
+    """Resolves addresses to home sockets and prices first-touch faults."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.placement = Placement(config)
+        self.migration_latency = config.migration_latency
+        self.stats = StatGroup("page_table")
+
+    def translate(self, addr: int, accessor: int) -> tuple[int, int]:
+        """Return ``(home_socket, extra_latency)`` for one access.
+
+        ``extra_latency`` is nonzero only on the first touch of a page
+        under the FIRST_TOUCH policy, representing the on-demand page copy
+        from system memory.
+        """
+        extra = 0
+        if self.placement.is_first_touch(addr):
+            extra = self.migration_latency
+            self.stats.add("faults")
+        home = self.placement.home_socket(addr, accessor)
+        self.stats.add("translations")
+        return home, extra
+
+    @property
+    def migrations(self) -> int:
+        """Pages migrated on first touch so far."""
+        return self.placement.migrations

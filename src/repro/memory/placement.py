@@ -1,0 +1,80 @@
+"""Page-placement policies (Section 3).
+
+Three policies from the paper plus a single-socket degenerate case:
+
+* ``FINE_INTERLEAVE`` — sub-page interleaving across sockets; the
+  traditional UMA layout that destroys locality (75% remote in a 4-GPU
+  system).
+* ``PAGE_INTERLEAVE`` — Linux-style round-robin page placement; load
+  balanced but still 75% remote.
+* ``FIRST_TOUCH`` — UVM on-demand migration: a page is homed at the socket
+  that touches it first (Arunkumar et al.), the locality-optimized choice.
+* ``LOCAL_ONLY`` — everything lives on socket 0 (single-GPU runs).
+
+Placement answers a single question — *which socket is the home of this
+address?* — and records enough statistics for the experiments (migration
+counts, local/remote split).
+"""
+
+from __future__ import annotations
+
+from repro.config import PlacementPolicy, SystemConfig
+from repro.errors import PlacementError
+from repro.sim.stats import StatGroup
+
+
+class Placement:
+    """Maps byte addresses to home sockets under a given policy.
+
+    First-touch state is per-run: :meth:`home_socket` takes the accessing
+    socket so the first access can claim the page.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.policy = config.placement
+        self.n_sockets = config.n_sockets
+        self.page_size = config.page_size
+        self.granularity = config.interleave_granularity
+        self.stats = StatGroup("placement")
+        self._page_home: dict[int, int] = {}
+
+    def home_socket(self, addr: int, accessor: int) -> int:
+        """Home socket of ``addr`` for an access issued by ``accessor``.
+
+        For ``FIRST_TOUCH`` the first call for a page claims it for the
+        accessor and counts a migration (the page moves from system memory
+        into that GPU's local DRAM).
+        """
+        if accessor < 0 or accessor >= self.n_sockets:
+            raise PlacementError(
+                f"accessor socket {accessor} out of range 0..{self.n_sockets - 1}"
+            )
+        if self.n_sockets == 1 or self.policy is PlacementPolicy.LOCAL_ONLY:
+            return 0
+        if self.policy is PlacementPolicy.FINE_INTERLEAVE:
+            return (addr // self.granularity) % self.n_sockets
+        if self.policy is PlacementPolicy.PAGE_INTERLEAVE:
+            return (addr // self.page_size) % self.n_sockets
+        # FIRST_TOUCH
+        page = addr // self.page_size
+        home = self._page_home.get(page)
+        if home is None:
+            home = accessor
+            self._page_home[page] = home
+            self.stats.add("migrations")
+        return home
+
+    def is_first_touch(self, addr: int) -> bool:
+        """True when a FIRST_TOUCH page has not been claimed yet."""
+        if self.policy is not PlacementPolicy.FIRST_TOUCH:
+            return False
+        return (addr // self.page_size) not in self._page_home
+
+    def pages_on(self, socket: int) -> int:
+        """Number of first-touch pages currently homed at ``socket``."""
+        return sum(1 for home in self._page_home.values() if home == socket)
+
+    @property
+    def migrations(self) -> int:
+        """Total first-touch page migrations performed."""
+        return self.stats["migrations"]

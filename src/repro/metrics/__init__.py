@@ -1,0 +1,26 @@
+"""Results, aggregation math, and timeline post-processing."""
+
+from repro.metrics.export import read_csv, run_to_dict, write_csv, write_json
+from repro.metrics.report import (
+    RunResult,
+    SocketStats,
+    arithmetic_mean,
+    collect_results,
+    geometric_mean,
+)
+from repro.metrics.timeline import UtilizationProfile, asymmetry_score, bin_series
+
+__all__ = [
+    "read_csv",
+    "run_to_dict",
+    "write_csv",
+    "write_json",
+    "RunResult",
+    "SocketStats",
+    "arithmetic_mean",
+    "collect_results",
+    "geometric_mean",
+    "UtilizationProfile",
+    "asymmetry_score",
+    "bin_series",
+]

@@ -1,0 +1,90 @@
+"""Result exporters: flatten RunResults to dictionaries, CSV, and JSON.
+
+Downstream analysis (plotting the figures, regression tracking) wants the
+run data out of Python objects; these helpers keep the flattening logic
+in one tested place.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.metrics.report import RunResult
+
+#: Column order for tabular exports (one row per run).
+RUN_COLUMNS = (
+    "workload",
+    "config",
+    "cycles",
+    "n_sockets",
+    "remote_fraction",
+    "l1_hit_rate",
+    "l2_hit_rate",
+    "dram_bytes",
+    "switch_bytes",
+    "lane_turns",
+    "migrations",
+    "kernels",
+)
+
+
+def run_to_dict(result: RunResult) -> dict:
+    """Flatten one run to a plain dict (RUN_COLUMNS keys)."""
+    l1_hits = sum(s.l1_hits for s in result.sockets)
+    l1_misses = sum(s.l1_misses for s in result.sockets)
+    l2_hits = sum(s.l2_hits for s in result.sockets)
+    l2_misses = sum(s.l2_misses for s in result.sockets)
+    return {
+        "workload": result.workload,
+        "config": result.config_label,
+        "cycles": result.cycles,
+        "n_sockets": result.n_sockets,
+        "remote_fraction": round(result.total_remote_fraction, 6),
+        "l1_hit_rate": round(l1_hits / (l1_hits + l1_misses), 6)
+        if l1_hits + l1_misses else 0.0,
+        "l2_hit_rate": round(l2_hits / (l2_hits + l2_misses), 6)
+        if l2_hits + l2_misses else 0.0,
+        "dram_bytes": result.total_dram_bytes,
+        "switch_bytes": result.switch_bytes,
+        "lane_turns": result.total_lane_turns,
+        "migrations": result.migrations,
+        "kernels": result.kernels,
+    }
+
+
+def write_csv(results: Iterable[RunResult], path: str | Path) -> int:
+    """Write one CSV row per run; returns the number of rows written."""
+    path = Path(path)
+    rows = [run_to_dict(r) for r in results]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=RUN_COLUMNS)
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def write_json(results: Iterable[RunResult], path: str | Path) -> int:
+    """Write the runs as a JSON array; returns the number of entries."""
+    path = Path(path)
+    rows = [run_to_dict(r) for r in results]
+    path.write_text(json.dumps(rows, indent=1))
+    return len(rows)
+
+
+def read_csv(path: str | Path) -> list[dict]:
+    """Read back a CSV written by :func:`write_csv` with typed fields."""
+    path = Path(path)
+    out: list[dict] = []
+    with path.open() as handle:
+        for row in csv.DictReader(handle):
+            typed = dict(row)
+            for key in ("cycles", "n_sockets", "dram_bytes", "switch_bytes",
+                        "lane_turns", "migrations", "kernels"):
+                typed[key] = int(row[key])
+            for key in ("remote_fraction", "l1_hit_rate", "l2_hit_rate"):
+                typed[key] = float(row[key])
+            out.append(typed)
+    return out

@@ -1,0 +1,171 @@
+"""Run results: per-socket stats, speedups, and aggregate math.
+
+A :class:`RunResult` is the harness's unit of currency: every experiment
+runs some configurations, collects RunResults, and reduces them with the
+same arithmetic/geometric means the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.system import NumaGpuSystem
+
+from repro.sim.stats import TimeSeries
+
+
+@dataclass
+class SocketStats:
+    """Flattened statistics of one GPU socket after a run."""
+
+    socket_id: int
+    l1_hits: int
+    l1_misses: int
+    l2_hits: int
+    l2_misses: int
+    local_accesses: int
+    remote_accesses: int
+    dram_bytes: int
+    egress_bytes: int
+    ingress_bytes: int
+    lane_turns: int
+    ctas_completed: int
+    flushes: int
+    remote_read_requests: int
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """L1 read hit rate."""
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """L2 hit rate over lookups that reached it."""
+        total = self.l2_hits + self.l2_misses
+        return self.l2_hits / total if total else 0.0
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of accesses to remote NUMA zones."""
+        total = self.local_accesses + self.remote_accesses
+        return self.remote_accesses / total if total else 0.0
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs to know about one simulation."""
+
+    workload: str
+    config_label: str
+    cycles: int
+    n_sockets: int
+    sockets: list[SocketStats]
+    switch_bytes: int
+    migrations: int
+    kernels: int
+    link_timelines: dict[str, TimeSeries] = field(default_factory=dict)
+    partition_timelines: dict[str, TimeSeries] = field(default_factory=dict)
+    kernel_launch_times: list[int] = field(default_factory=list)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """How much faster this run is than ``baseline`` (>1 = faster)."""
+        if self.cycles <= 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    @property
+    def total_remote_fraction(self) -> float:
+        """System-wide fraction of accesses that were remote."""
+        local = sum(s.local_accesses for s in self.sockets)
+        remote = sum(s.remote_accesses for s in self.sockets)
+        total = local + remote
+        return remote / total if total else 0.0
+
+    @property
+    def total_lane_turns(self) -> int:
+        """Lane reversals performed across all links."""
+        return sum(s.lane_turns for s in self.sockets)
+
+    @property
+    def total_dram_bytes(self) -> int:
+        """Bytes moved through all DRAM channels."""
+        return sum(s.dram_bytes for s in self.sockets)
+
+
+def arithmetic_mean(values: list[float]) -> float:
+    """Plain average; 0.0 for an empty list."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean; requires positive values, 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def collect_results(system: "NumaGpuSystem", workload_name: str) -> RunResult:
+    """Flatten a finished system's component stats into a RunResult."""
+    sockets = []
+    for socket in system.sockets:
+        if system.switch is not None:
+            link = system.switch.links[socket.socket_id]
+            egress = link.stats["egress_bytes"]
+            ingress = link.stats["ingress_bytes"]
+            turns = link.stats["lane_turns"]
+        else:
+            egress = ingress = turns = 0
+        sockets.append(
+            SocketStats(
+                socket_id=socket.socket_id,
+                l1_hits=socket.stats["l1_hits"],
+                l1_misses=socket.stats["l1_misses"],
+                l2_hits=socket.stats["l2_hits"],
+                l2_misses=socket.stats["l2_misses"],
+                local_accesses=socket.stats["local_accesses"],
+                remote_accesses=socket.stats["remote_accesses"],
+                dram_bytes=socket.dram.bytes_total,
+                egress_bytes=egress,
+                ingress_bytes=ingress,
+                lane_turns=turns,
+                ctas_completed=socket.stats["ctas_completed"],
+                flushes=socket.coherence.stats["flushes"],
+                remote_read_requests=socket.stats["remote_read_requests"],
+            )
+        )
+    link_timelines: dict[str, TimeSeries] = {}
+    for balancer in system.balancers:
+        if balancer.timeline_egress is not None:
+            link_timelines[balancer.timeline_egress.name] = balancer.timeline_egress
+        if balancer.timeline_ingress is not None:
+            link_timelines[balancer.timeline_ingress.name] = balancer.timeline_ingress
+    partition_timelines: dict[str, TimeSeries] = {}
+    for controller in system.cache_controllers:
+        if controller.timeline is not None:
+            partition_timelines[controller.timeline.name] = controller.timeline
+    launcher = system.launcher
+    return RunResult(
+        workload=workload_name,
+        config_label=_config_label(system),
+        cycles=system.engine.now,
+        n_sockets=system.config.n_sockets,
+        sockets=sockets,
+        switch_bytes=system.switch.total_bytes if system.switch else 0,
+        migrations=system.page_table.migrations,
+        kernels=launcher.stats["kernels_completed"] if launcher else 0,
+        link_timelines=link_timelines,
+        partition_timelines=partition_timelines,
+        kernel_launch_times=list(launcher.kernel_launch_times) if launcher else [],
+    )
+
+
+def _config_label(system: "NumaGpuSystem") -> str:
+    cfg = system.config
+    return (
+        f"{cfg.n_sockets}s/{cfg.cta_policy.value}/{cfg.placement.value}/"
+        f"{cfg.cache_arch.value}/{cfg.link_policy.value}"
+    )

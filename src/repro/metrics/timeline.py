@@ -1,0 +1,76 @@
+"""Timeline post-processing for the Figure 5 style link-utilization plots.
+
+The balancers record raw (time, utilization) samples; this module bins
+them into fixed windows and renders per-GPU ingress/egress profiles with
+kernel-launch markers, mirroring the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import TimeSeries
+
+
+@dataclass
+class UtilizationProfile:
+    """Binned utilization of one link direction."""
+
+    name: str
+    window: int
+    times: list[int]
+    utilization: list[float]
+
+    def peak(self) -> float:
+        """Highest binned utilization seen."""
+        return max(self.utilization, default=0.0)
+
+    def mean(self) -> float:
+        """Average binned utilization."""
+        if not self.utilization:
+            return 0.0
+        return sum(self.utilization) / len(self.utilization)
+
+    def saturated_fraction(self, threshold: float = 0.99) -> float:
+        """Fraction of windows at or above ``threshold`` utilization."""
+        if not self.utilization:
+            return 0.0
+        hot = sum(1 for u in self.utilization if u >= threshold)
+        return hot / len(self.utilization)
+
+
+def bin_series(series: TimeSeries, window: int, end_time: int) -> UtilizationProfile:
+    """Average a sampled series into fixed windows of ``window`` cycles.
+
+    Samples are treated as the mean utilization since the previous sample,
+    which is exactly what :class:`UtilizationWindow` produces.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n_bins = max(1, (end_time + window - 1) // window)
+    sums = [0.0] * n_bins
+    counts = [0] * n_bins
+    for time, value in zip(series.times, series.values):
+        idx = min(time // window, n_bins - 1)
+        sums[idx] += value
+        counts[idx] += 1
+    times = [i * window for i in range(n_bins)]
+    utilization = [
+        sums[i] / counts[i] if counts[i] else 0.0 for i in range(n_bins)
+    ]
+    return UtilizationProfile(series.name, window, times, utilization)
+
+
+def asymmetry_score(egress: UtilizationProfile, ingress: UtilizationProfile) -> float:
+    """Mean |egress - ingress| utilization gap across windows.
+
+    High scores indicate the one-direction-saturated phases that dynamic
+    lane reversal exploits; Figure 5's HPC-HPGMG-UVM profile scores high.
+    """
+    n = min(len(egress.utilization), len(ingress.utilization))
+    if n == 0:
+        return 0.0
+    gap = sum(
+        abs(egress.utilization[i] - ingress.utilization[i]) for i in range(n)
+    )
+    return gap / n

@@ -1,0 +1,17 @@
+"""Interconnect power model (Section 6)."""
+
+from repro.power.interconnect_power import (
+    GPU_MODULE_TDP_WATTS,
+    PICOJOULES_PER_BIT,
+    PowerEstimate,
+    estimate_power,
+    scale_power_to_paper,
+)
+
+__all__ = [
+    "GPU_MODULE_TDP_WATTS",
+    "PICOJOULES_PER_BIT",
+    "PowerEstimate",
+    "estimate_power",
+    "scale_power_to_paper",
+]

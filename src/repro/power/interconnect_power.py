@@ -1,0 +1,74 @@
+"""Interconnect energy model (Section 6, "Power Implications").
+
+The paper estimates on-board link + switch energy at 10 pJ/bit
+(extrapolated from cabinet-level Mellanox switch and NIC datasheets) and
+reports the average communication power of the 4-GPU baseline (~30 W),
+of the NUMA-aware design (~14 W), the ~130 W worst cases, and the ~5%
+overhead against a 250 W-per-module TDP.
+
+Our model applies the same constant to the bytes that crossed the switch
+in a simulation, divided by wall-clock time (cycles at 1 GHz = ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.report import RunResult
+
+#: Combined link + switch energy per bit (Section 6).
+PICOJOULES_PER_BIT = 10.0
+
+#: Assumed module TDP used for the overhead percentage (Section 6).
+GPU_MODULE_TDP_WATTS = 250.0
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Interconnect energy/power for one simulation run."""
+
+    workload: str
+    bytes_moved: int
+    cycles: int
+    energy_joules: float
+    average_watts: float
+    overhead_fraction: float
+
+    @property
+    def average_milliwatts(self) -> float:
+        """Convenience for scaled-down runs where watts are tiny."""
+        return self.average_watts * 1e3
+
+
+def estimate_power(result: RunResult, n_gpus: int | None = None) -> PowerEstimate:
+    """Interconnect power for one run at 10 pJ/b.
+
+    ``overhead_fraction`` compares communication power against the total
+    module TDP budget (``n_gpus`` x 250 W), the paper's 5% metric.
+    """
+    n_gpus = n_gpus if n_gpus is not None else result.n_sockets
+    bits = result.switch_bytes * 8
+    energy = bits * PICOJOULES_PER_BIT * 1e-12
+    seconds = result.cycles * 1e-9  # 1 GHz clock
+    watts = energy / seconds if seconds > 0 else 0.0
+    budget = n_gpus * GPU_MODULE_TDP_WATTS
+    return PowerEstimate(
+        workload=result.workload,
+        bytes_moved=result.switch_bytes,
+        cycles=result.cycles,
+        energy_joules=energy,
+        average_watts=watts,
+        overhead_fraction=watts / budget if budget else 0.0,
+    )
+
+
+def scale_power_to_paper(estimate: PowerEstimate, bandwidth_scale: float) -> float:
+    """Project a scaled-down run's watts to the paper's full-size system.
+
+    Power is proportional to moved bytes per second; a run whose link and
+    DRAM bandwidths were scaled by ``bandwidth_scale`` moves that fraction
+    of the full-size traffic in the same wall-clock time.
+    """
+    if bandwidth_scale <= 0:
+        raise ValueError("bandwidth_scale must be positive")
+    return estimate.average_watts / bandwidth_scale

@@ -1,0 +1,40 @@
+"""Kernel and sub-kernel abstractions (Section 3).
+
+A :class:`KernelWork` is one GPU-wide kernel invocation: a CTA count plus
+a builder that materializes each CTA's slices on demand. The runtime
+decomposes it into one sub-kernel per socket (the paper's programmer-
+transparent strategy), remapping CTA identifiers so the original kernel's
+IDs are preserved inside each sub-kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import RuntimeLaunchError
+from repro.gpu.cta import Slice
+
+#: Builds the slice list of one CTA given its (original) CTA index.
+CtaBuilder = Callable[[int], list[Slice]]
+
+
+@dataclass
+class KernelWork:
+    """One kernel invocation to be decomposed across sockets."""
+
+    name: str
+    n_ctas: int
+    build_cta: CtaBuilder
+
+    def __post_init__(self) -> None:
+        if self.n_ctas < 1:
+            raise RuntimeLaunchError(f"kernel {self.name!r} has no CTAs")
+
+    def materialize(self, cta_index: int) -> tuple[int, list[Slice]]:
+        """Build one CTA's work, keyed by its original kernel-wide ID."""
+        if not 0 <= cta_index < self.n_ctas:
+            raise RuntimeLaunchError(
+                f"kernel {self.name!r}: CTA {cta_index} out of range"
+            )
+        return cta_index, self.build_cta(cta_index)

@@ -1,0 +1,57 @@
+"""UVM management: first-touch migration plus explicit prefetch.
+
+The paper's runtime relies on Unified Virtual Addressing with on-demand
+page migration (first touch). :class:`UvmManager` wraps the page table
+with the two operations the runtime layer needs:
+
+* first-touch translation with fault accounting (delegated to
+  :class:`repro.memory.page_table.PageTable`), and
+* explicit region prefetch — the ``cudaMemPrefetchAsync``-style escape
+  hatch that pins a region's pages to a chosen socket before any CTA
+  touches them. Examples use it to stage reduction buffers on a master
+  socket, the way real applications' init kernels do.
+"""
+
+from __future__ import annotations
+
+from repro.config import PlacementPolicy
+from repro.errors import PlacementError
+from repro.memory.page_table import PageTable
+from repro.sim.stats import StatGroup
+
+
+class UvmManager:
+    """Thin policy layer over the page table."""
+
+    def __init__(self, page_table: PageTable) -> None:
+        self.page_table = page_table
+        self.stats = StatGroup("uvm")
+
+    def prefetch(self, start: int, nbytes: int, socket: int) -> int:
+        """Pin every page overlapping ``[start, start+nbytes)`` to ``socket``.
+
+        Only meaningful under FIRST_TOUCH placement (other policies compute
+        homes arithmetically); pages already claimed stay where they are,
+        mirroring CUDA's behaviour of not re-migrating resident pages here.
+        Returns the number of pages newly pinned.
+        """
+        placement = self.page_table.placement
+        if placement.policy is not PlacementPolicy.FIRST_TOUCH:
+            return 0
+        if socket < 0 or socket >= placement.n_sockets:
+            raise PlacementError(f"prefetch target socket {socket} out of range")
+        page_size = placement.page_size
+        first = start // page_size
+        last = (start + max(nbytes, 1) - 1) // page_size
+        pinned = 0
+        for page in range(first, last + 1):
+            if page not in placement._page_home:
+                placement._page_home[page] = socket
+                pinned += 1
+        self.stats.add("pages_prefetched", pinned)
+        return pinned
+
+    @property
+    def migrations(self) -> int:
+        """First-touch page migrations performed so far."""
+        return self.page_table.migrations

@@ -1,0 +1,13 @@
+"""Discrete-event simulation substrate: engine, bandwidth servers, stats."""
+
+from repro.sim.engine import Engine
+from repro.sim.resource import BandwidthResource, UtilizationWindow
+from repro.sim.stats import StatGroup, TimeSeries
+
+__all__ = [
+    "Engine",
+    "BandwidthResource",
+    "UtilizationWindow",
+    "StatGroup",
+    "TimeSeries",
+]

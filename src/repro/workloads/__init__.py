@@ -1,0 +1,52 @@
+"""Workloads: pattern generators, specs, the 41-entry suite, factory."""
+
+from repro.workloads.patterns import PatternGeometry, PatternKind, Region
+from repro.workloads.spec import (
+    MEDIUM,
+    SCALES,
+    SMALL,
+    TINY,
+    KernelSpec,
+    WorkloadScale,
+    WorkloadSpec,
+)
+from repro.workloads.suite import (
+    GREY_BOX,
+    STUDY_SET,
+    SUITE,
+    get_workload,
+    workloads_by_suite,
+)
+from repro.workloads.synthetic import make_workload, resolve_pattern
+from repro.workloads.trace import (
+    KernelTrace,
+    WorkloadTrace,
+    load_trace,
+    record_trace,
+    save_trace,
+)
+
+__all__ = [
+    "PatternGeometry",
+    "PatternKind",
+    "Region",
+    "MEDIUM",
+    "SCALES",
+    "SMALL",
+    "TINY",
+    "KernelSpec",
+    "WorkloadScale",
+    "WorkloadSpec",
+    "GREY_BOX",
+    "STUDY_SET",
+    "SUITE",
+    "get_workload",
+    "workloads_by_suite",
+    "make_workload",
+    "resolve_pattern",
+    "KernelTrace",
+    "WorkloadTrace",
+    "load_trace",
+    "record_trace",
+    "save_trace",
+]

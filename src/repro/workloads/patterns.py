@@ -1,0 +1,151 @@
+"""Address-stream generators: the six pattern families.
+
+Each generator produces the byte addresses one CTA touches in one slice.
+The families map onto the behaviour classes visible in the paper's
+figures:
+
+* ``PRIVATE_STREAM`` — CTA i sweeps its own contiguous chunk once
+  (Stream-Triad-like; perfectly local under contiguous scheduling +
+  first touch, cache-hostile but bandwidth friendly).
+* ``PRIVATE_REUSE`` — CTA i loops over its chunk repeatedly
+  (Backprop/Srad/Kmeans-like; cache friendly and local).
+* ``STENCIL_HALO`` — mostly private, a configurable fraction touches the
+  neighbouring CTA's chunk edge (Hotspot/Pathfinder-like; small remote
+  fraction at socket boundaries).
+* ``SHARED_READ`` — a fraction of reads hit a global read-shared region
+  (lookup tables, NN weights; remote-heavy no matter the placement).
+* ``RANDOM_GLOBAL`` — uniform random over the whole footprint
+  (graph workloads; ~ (N-1)/N remote in an N-socket system).
+* ``REDUCTION`` — writes funnel into a small shared output region
+  (typically homed on one socket), producing the asymmetric egress
+  saturation of Figure 5.
+* ``GATHER_READ`` — the mirror phase: every CTA reads the master-homed
+  output region (prolongation, broadcast of gathered results), saturating
+  the master's egress instead.
+
+All generators are deterministic in ``(seed, kernel, cta)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.config import LINE_SIZE
+from repro.errors import WorkloadError
+
+
+class PatternKind(enum.Enum):
+    """The six address-stream families."""
+
+    PRIVATE_STREAM = "private_stream"
+    PRIVATE_REUSE = "private_reuse"
+    STENCIL_HALO = "stencil_halo"
+    SHARED_READ = "shared_read"
+    RANDOM_GLOBAL = "random_global"
+    REDUCTION = "reduction"
+    GATHER_READ = "gather_read"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous byte range of the workload's address space."""
+
+    start: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise WorkloadError(f"region at {self.start} has size {self.nbytes}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte."""
+        return self.start + self.nbytes
+
+    @property
+    def n_lines(self) -> int:
+        """Whole cache lines covered."""
+        return max(1, self.nbytes // LINE_SIZE)
+
+    def line_addr(self, index: int) -> int:
+        """Byte address of line ``index`` (mod the region size)."""
+        return self.start + (index % self.n_lines) * LINE_SIZE
+
+
+@dataclass(frozen=True)
+class PatternGeometry:
+    """Everything a generator needs to lay out one kernel's accesses."""
+
+    n_ctas: int
+    private_region: Region
+    shared_region: Region
+    output_region: Region
+    halo_fraction: float = 0.15
+    shared_fraction: float = 0.5
+
+    def cta_chunk(self, cta: int) -> Region:
+        """CTA ``cta``'s private chunk (contiguous CTA-major layout)."""
+        lines_per_cta = max(1, self.private_region.n_lines // max(1, self.n_ctas))
+        start_line = (cta % max(1, self.n_ctas)) * lines_per_cta
+        return Region(
+            self.private_region.start + start_line * LINE_SIZE,
+            lines_per_cta * LINE_SIZE,
+        )
+
+
+def generate_addresses(
+    kind: PatternKind,
+    geometry: PatternGeometry,
+    cta: int,
+    n_ops: int,
+    rng: random.Random,
+    slice_index: int = 0,
+    phase_offset: int = 0,
+) -> list[int]:
+    """Addresses one CTA touches in one slice under ``kind``.
+
+    ``phase_offset`` shifts chunk-relative accesses per kernel invocation,
+    modelling the double-buffering of iterative kernels: iteration k+1
+    reads different lines than iteration k wrote, so caches cannot carry
+    private data across kernel boundaries (only the hot shared regions
+    legitimately persist).
+    """
+    if n_ops <= 0:
+        return []
+    chunk = geometry.cta_chunk(cta)
+    if kind is PatternKind.PRIVATE_STREAM:
+        base = phase_offset + slice_index * n_ops
+        return [chunk.line_addr(base + i) for i in range(n_ops)]
+    if kind is PatternKind.PRIVATE_REUSE:
+        # Loop over a working set sized to the slice burst: high reuse.
+        working_lines = max(2, min(chunk.n_lines, n_ops))
+        return [chunk.line_addr(phase_offset + i % working_lines) for i in range(n_ops)]
+    if kind is PatternKind.STENCIL_HALO:
+        addrs = []
+        neighbour = geometry.cta_chunk(cta + 1)
+        for i in range(n_ops):
+            if rng.random() < geometry.halo_fraction:
+                addrs.append(neighbour.line_addr(rng.randrange(neighbour.n_lines)))
+            else:
+                addrs.append(chunk.line_addr(phase_offset + slice_index * n_ops + i))
+        return addrs
+    if kind is PatternKind.SHARED_READ:
+        shared = geometry.shared_region
+        addrs = []
+        for i in range(n_ops):
+            if rng.random() < geometry.shared_fraction:
+                addrs.append(shared.line_addr(rng.randrange(shared.n_lines)))
+            else:
+                addrs.append(chunk.line_addr(phase_offset + slice_index * n_ops + i))
+        return addrs
+    if kind is PatternKind.RANDOM_GLOBAL:
+        region = geometry.private_region
+        return [
+            region.line_addr(rng.randrange(region.n_lines)) for _ in range(n_ops)
+        ]
+    if kind in (PatternKind.REDUCTION, PatternKind.GATHER_READ):
+        out = geometry.output_region
+        return [out.line_addr(rng.randrange(out.n_lines)) for _ in range(n_ops)]
+    raise WorkloadError(f"unknown pattern kind {kind!r}")  # pragma: no cover

@@ -1,0 +1,124 @@
+"""Unit tests for the dynamic link load balancer (Section 4)."""
+
+import pytest
+
+from repro.config import ControllerConfig, LinkConfig
+from repro.interconnect.balancer import LinkBalancer
+from repro.interconnect.link import Direction, DuplexLink
+from repro.sim.engine import Engine
+
+
+def make_balancer(sample_time=1000, switch_time=100, record=False,
+                  monitor_only=False):
+    engine = Engine()
+    link = DuplexLink(0, LinkConfig(), engine)
+    config = ControllerConfig(
+        link_sample_time=sample_time, link_switch_time=switch_time
+    )
+    balancer = LinkBalancer(
+        link, engine, config, record_timeline=record, monitor_only=monitor_only
+    )
+    return balancer, link, engine
+
+
+def saturate(link, direction, until):
+    """Backlog one direction well past ``until``."""
+    rate = link.bandwidth(direction)
+    link.resource(direction).service(0, int(rate * until * 2))
+
+
+def test_turns_toward_saturated_egress():
+    balancer, link, engine = make_balancer()
+    saturate(link, Direction.EGRESS, until=1000)
+    balancer.start()
+    engine.run(until=1000)
+    assert link.lanes(Direction.EGRESS) == 9
+    assert balancer.stats["turns_to_egress"] == 1
+
+
+def test_turns_toward_saturated_ingress():
+    balancer, link, engine = make_balancer()
+    saturate(link, Direction.INGRESS, until=1000)
+    balancer.start()
+    engine.run(until=1000)
+    assert link.lanes(Direction.INGRESS) == 9
+
+
+def test_no_turn_when_both_idle():
+    balancer, link, engine = make_balancer()
+    balancer.start()
+    engine.run(until=5000)
+    assert link.is_symmetric()
+    assert balancer.stats["samples"] >= 4
+
+
+def test_no_turn_when_both_saturated_and_symmetric():
+    balancer, link, engine = make_balancer()
+    saturate(link, Direction.EGRESS, until=1000)
+    saturate(link, Direction.INGRESS, until=1000)
+    balancer.start()
+    engine.run(until=1000)
+    assert link.is_symmetric()
+
+
+def test_rebalances_toward_symmetric_when_both_saturated():
+    balancer, link, engine = make_balancer()
+    # Start asymmetric: 10 egress / 6 ingress.
+    link.turn_lane(Direction.EGRESS, 1)
+    link.turn_lane(Direction.EGRESS, 1)
+    engine.run()
+    saturate(link, Direction.EGRESS, until=10000)
+    saturate(link, Direction.INGRESS, until=10000)
+    balancer.start()
+    engine.run(until=1100)
+    assert link.asymmetry() == 2
+    assert balancer.stats["turns_to_symmetric"] == 1
+
+
+def test_repeated_sampling_converges_to_max_asymmetry():
+    balancer, link, engine = make_balancer(sample_time=500, switch_time=10)
+    saturate(link, Direction.EGRESS, until=100_000)
+    balancer.start()
+    engine.run(until=20_000)
+    assert link.lanes(Direction.EGRESS) == 15
+    assert link.lanes(Direction.INGRESS) == 1
+
+
+def test_stop_halts_sampling():
+    balancer, link, engine = make_balancer()
+    balancer.start()
+    balancer.stop()
+    engine.run(until=10_000)
+    assert balancer.stats["samples"] == 0
+
+
+def test_start_is_idempotent():
+    balancer, _link, engine = make_balancer()
+    balancer.start()
+    balancer.start()
+    engine.run(until=1000)
+    assert balancer.stats["samples"] == 1
+
+
+def test_monitor_only_records_but_never_turns():
+    balancer, link, engine = make_balancer(record=True, monitor_only=True)
+    saturate(link, Direction.EGRESS, until=10_000)
+    balancer.start()
+    engine.run(until=5000)
+    assert link.is_symmetric()
+    assert len(balancer.timeline_egress) >= 4
+    assert balancer.timeline_egress.values[0] == pytest.approx(1.0)
+
+
+def test_on_kernel_launch_resets_lanes():
+    balancer, link, engine = make_balancer()
+    link.turn_lane(Direction.EGRESS, 1)
+    engine.run()
+    balancer.on_kernel_launch()
+    assert link.is_symmetric()
+
+
+def test_timeline_disabled_by_default():
+    balancer, _link, _engine = make_balancer()
+    assert balancer.timeline_egress is None
+    assert balancer.timeline_ingress is None

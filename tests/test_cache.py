@@ -1,0 +1,228 @@
+"""Unit tests for the set-associative, class-aware cache."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.errors import CacheError
+from repro.memory.cache import NumaClass, SetAssocCache
+
+
+def small_cache(ways=4, sets=4, **kwargs):
+    config = CacheConfig(capacity_bytes=sets * ways * 128, ways=ways)
+    return SetAssocCache("t", config, **kwargs)
+
+
+def test_miss_then_hit():
+    cache = small_cache()
+    assert not cache.lookup(7)
+    cache.fill(7, NumaClass.LOCAL)
+    assert cache.lookup(7)
+
+
+def test_contains_does_not_mutate():
+    cache = small_cache()
+    cache.fill(1, NumaClass.LOCAL)
+    assert cache.contains(1)
+    assert cache.stats["read_hits"] == 0
+
+
+def test_lru_eviction_within_set():
+    cache = small_cache(ways=2, sets=1)
+    cache.fill(0, NumaClass.LOCAL)
+    cache.fill(1, NumaClass.LOCAL)
+    cache.lookup(0)  # 0 is now MRU
+    evicted = cache.fill(2, NumaClass.LOCAL)
+    assert evicted is not None and evicted.line == 1
+    assert cache.contains(0) and cache.contains(2)
+
+
+def test_fill_existing_line_is_refresh_not_eviction():
+    cache = small_cache(ways=2, sets=1)
+    cache.fill(0, NumaClass.LOCAL)
+    assert cache.fill(0, NumaClass.LOCAL) is None
+    assert cache.valid_lines == 1
+
+
+def test_lines_map_to_sets_by_modulo():
+    cache = small_cache(ways=1, sets=4)
+    cache.fill(0, NumaClass.LOCAL)
+    cache.fill(1, NumaClass.LOCAL)
+    cache.fill(4, NumaClass.LOCAL)  # same set as 0
+    assert not cache.contains(0)
+    assert cache.contains(1)
+    assert cache.contains(4)
+
+
+def test_dirty_fill_and_dirty_eviction():
+    cache = small_cache(ways=1, sets=1)
+    cache.fill(0, NumaClass.LOCAL, dirty=True)
+    evicted = cache.fill(1, NumaClass.LOCAL)
+    assert evicted.dirty
+    assert cache.stats["dirty_evictions"] == 1
+
+
+def test_write_hit_sets_dirty():
+    cache = small_cache()
+    cache.fill(0, NumaClass.LOCAL)
+    cache.lookup(0, write=True)
+    dirty = cache.invalidate_all()
+    assert [e.line for e in dirty] == [0]
+
+
+def test_write_through_cache_never_dirty():
+    cache = small_cache(write_through=True)
+    cache.fill(0, NumaClass.LOCAL)
+    cache.lookup(0, write=True)
+    assert cache.invalidate_all() == []
+
+
+def test_invalidate_all_empties_cache():
+    cache = small_cache()
+    for line in range(8):
+        cache.fill(line, NumaClass.LOCAL)
+    cache.invalidate_all()
+    assert cache.valid_lines == 0
+    assert cache.stats["lines_invalidated"] == 8
+
+
+def test_invalidate_class_only_touches_that_class():
+    cache = small_cache()
+    cache.fill(0, NumaClass.LOCAL, dirty=True)
+    cache.fill(1, NumaClass.REMOTE, dirty=True)
+    dirty = cache.invalidate_class(NumaClass.REMOTE)
+    assert [e.line for e in dirty] == [1]
+    assert cache.contains(0)
+    assert not cache.contains(1)
+
+
+def test_drop_removes_line_without_writeback():
+    cache = small_cache()
+    cache.fill(0, NumaClass.REMOTE, dirty=True)
+    assert cache.drop(0)
+    assert not cache.contains(0)
+    assert not cache.drop(0)
+
+
+def test_occupancy_by_class():
+    cache = small_cache()
+    cache.fill(0, NumaClass.LOCAL)
+    cache.fill(1, NumaClass.REMOTE)
+    cache.fill(2, NumaClass.REMOTE)
+    occ = cache.occupancy()
+    assert occ[NumaClass.LOCAL] == 1
+    assert occ[NumaClass.REMOTE] == 2
+
+
+def test_hit_rate():
+    cache = small_cache()
+    cache.fill(0, NumaClass.LOCAL)
+    cache.lookup(0)
+    cache.lookup(1)
+    assert cache.hit_rate() == pytest.approx(0.5)
+
+
+def test_hit_rate_untouched_cache_is_zero():
+    assert small_cache().hit_rate() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# partitioning
+# ---------------------------------------------------------------------------
+
+def test_quota_must_sum_to_ways():
+    cache = small_cache()
+    with pytest.raises(CacheError):
+        cache.set_quotas(3, 3)
+
+
+def test_quota_starvation_rejected():
+    cache = small_cache()
+    with pytest.raises(CacheError):
+        cache.set_quotas(4, 0)
+
+
+def test_partition_respected_on_fill():
+    cache = small_cache(ways=4, sets=1, local_ways=2, remote_ways=2)
+    cache.fill(0, NumaClass.LOCAL)
+    cache.fill(1, NumaClass.LOCAL)
+    # Third local fill must evict a local line, not grow past its quota.
+    cache.fill(2, NumaClass.LOCAL)
+    occ = cache.occupancy()
+    assert occ[NumaClass.LOCAL] == 2
+    assert occ[NumaClass.REMOTE] == 0
+
+
+def test_partition_victim_is_lru_of_own_class():
+    cache = small_cache(ways=4, sets=1, local_ways=2, remote_ways=2)
+    cache.fill(0, NumaClass.LOCAL)
+    cache.fill(1, NumaClass.LOCAL)
+    cache.lookup(0)
+    evicted = cache.fill(2, NumaClass.LOCAL)
+    assert evicted.line == 1
+
+
+def test_lazy_eviction_on_repartition():
+    """Shrinking a quota never evicts; lines leave only on later fills."""
+    cache = small_cache(ways=4, sets=1, local_ways=2, remote_ways=2)
+    cache.fill(0, NumaClass.LOCAL)
+    cache.fill(1, NumaClass.LOCAL)
+    cache.set_quotas(1, 3)
+    assert cache.contains(0) and cache.contains(1)  # lazy: both remain
+    # All ways are consulted on lookup, so both still hit.
+    assert cache.lookup(0) and cache.lookup(1)
+    # Remote fills use invalid frames first (lazier still)...
+    cache.fill(10, NumaClass.REMOTE)
+    cache.fill(11, NumaClass.REMOTE)
+    assert cache.occupancy()[NumaClass.LOCAL] == 2
+    # ...and reclaim from the over-quota local group once frames run out.
+    cache.fill(12, NumaClass.REMOTE)
+    occ = cache.occupancy()
+    assert occ[NumaClass.LOCAL] == 1
+    assert occ[NumaClass.REMOTE] == 3
+
+
+def test_over_quota_class_is_preferred_victim():
+    cache = small_cache(ways=4, sets=1, local_ways=2, remote_ways=2)
+    for line in range(4):
+        cache.fill(line, NumaClass.LOCAL if line < 2 else NumaClass.REMOTE)
+    cache.set_quotas(3, 1)  # remote now over quota
+    cache.fill(4, NumaClass.LOCAL)
+    occ = cache.occupancy()
+    assert occ[NumaClass.REMOTE] == 1
+    assert occ[NumaClass.LOCAL] == 3
+
+
+def test_invalid_frames_used_before_eviction():
+    cache = small_cache(ways=4, sets=1, local_ways=2, remote_ways=2)
+    cache.fill(0, NumaClass.LOCAL)
+    evicted = cache.fill(1, NumaClass.REMOTE)
+    assert evicted is None
+
+
+def test_unpartitioned_cache_ignores_class_quota():
+    cache = small_cache(ways=2, sets=1)
+    cache.fill(0, NumaClass.REMOTE)
+    cache.fill(1, NumaClass.REMOTE)
+    occ = cache.occupancy()
+    assert occ[NumaClass.REMOTE] == 2
+
+
+def test_repartition_counts_stat():
+    cache = small_cache(ways=4, sets=1, local_ways=2, remote_ways=2)
+    before = cache.stats["repartitions"]
+    cache.set_quotas(3, 1)
+    assert cache.stats["repartitions"] == before + 1
+
+
+def test_capacity_never_exceeded():
+    cache = small_cache(ways=4, sets=4)
+    for line in range(100):
+        cache.fill(line, NumaClass.LOCAL if line % 2 else NumaClass.REMOTE)
+    assert cache.valid_lines <= 16
+
+
+def test_partitioned_capacity_never_exceeded():
+    cache = small_cache(ways=4, sets=4, local_ways=1, remote_ways=3)
+    for line in range(100):
+        cache.fill(line, NumaClass.LOCAL if line % 3 else NumaClass.REMOTE)
+    assert cache.valid_lines <= 16

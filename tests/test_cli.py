@@ -1,0 +1,60 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "HPC-AMG" in out
+    assert "Other-Stream-Triad" in out
+    assert out.count("\n") == 41
+
+
+def test_run_command(capsys):
+    code = main([
+        "run", "Lonestar-SP", "--sockets", "2", "--scale", "tiny",
+        "--cache", "numa_aware", "--links", "dynamic",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out
+    assert "remote_fraction" in out
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "figure2", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+
+
+def test_trace_command(tmp_path, capsys):
+    out_file = tmp_path / "sp.trace"
+    code = main(["trace", "Lonestar-SP", str(out_file), "--scale", "tiny"])
+    assert code == 0
+    assert out_file.exists()
+    assert "recorded" in capsys.readouterr().out
+    from repro.workloads.trace import load_trace
+
+    assert load_trace(out_file).workload == "Lonestar-SP"
+
+
+def test_every_experiment_is_registered():
+    for figure in ("table1", "table2", "figure2", "figure3", "figure5",
+                   "figure6", "figure8", "figure9", "figure10", "figure11",
+                   "switch_time", "writeback", "power"):
+        assert figure in EXPERIMENTS
+
+
+def test_unknown_workload_is_an_error():
+    from repro.errors import WorkloadError
+
+    with pytest.raises(WorkloadError):
+        main(["run", "No-Such-Workload"])
+
+
+def test_parser_rejects_bad_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "figure99"])

@@ -1,0 +1,87 @@
+"""Unit tests for the software bulk-invalidate coherence protocol."""
+
+from repro.config import CacheArch, CacheConfig
+from repro.memory.cache import NumaClass, SetAssocCache
+from repro.memory.coherence import CoherenceDomain
+
+
+def make_domain(arch, invalidations=True):
+    l1_cfg = CacheConfig(capacity_bytes=4 * 4 * 128, ways=4)
+    l2_cfg = CacheConfig(capacity_bytes=8 * 16 * 128, ways=16)
+    l1s = [SetAssocCache(f"l1.{i}", l1_cfg, write_through=True) for i in range(2)]
+    l2 = SetAssocCache("l2", l2_cfg)
+    domain = CoherenceDomain(0, arch, l1s, l2, invalidations_enabled=invalidations)
+    return domain, l1s, l2
+
+
+def populate(l1s, l2):
+    for l1 in l1s:
+        l1.fill(1, NumaClass.LOCAL)
+        l1.fill(2, NumaClass.REMOTE)
+    l2.fill(10, NumaClass.LOCAL, dirty=True)
+    l2.fill(11, NumaClass.REMOTE, dirty=True)
+    l2.fill(12, NumaClass.REMOTE)
+
+
+def test_mem_side_flush_only_touches_l1s():
+    domain, l1s, l2 = make_domain(CacheArch.MEM_SIDE)
+    populate(l1s, l2)
+    result = domain.flush()
+    assert all(l1.valid_lines == 0 for l1 in l1s)
+    assert l2.valid_lines == 3
+    assert result.local_dirty_lines == 0
+    assert result.remote_dirty_lines == 0
+
+
+def test_static_rc_flush_drops_remote_class_only():
+    domain, l1s, l2 = make_domain(CacheArch.STATIC_RC)
+    populate(l1s, l2)
+    result = domain.flush()
+    assert l2.contains(10)
+    assert not l2.contains(11)
+    assert not l2.contains(12)
+    assert result.remote_dirty_lines == 1
+    assert result.remote_lines == [11]
+
+
+def test_shared_coherent_flush_drops_everything():
+    domain, l1s, l2 = make_domain(CacheArch.SHARED_COHERENT)
+    populate(l1s, l2)
+    result = domain.flush()
+    assert l2.valid_lines == 0
+    assert result.local_dirty_lines == 1
+    assert result.remote_dirty_lines == 1
+
+
+def test_numa_aware_flush_matches_shared_coherent():
+    domain, l1s, l2 = make_domain(CacheArch.NUMA_AWARE)
+    populate(l1s, l2)
+    result = domain.flush()
+    assert l2.valid_lines == 0
+    assert result.local_dirty_lines == 1
+
+
+def test_l1_write_through_produces_no_writebacks():
+    domain, l1s, _l2 = make_domain(CacheArch.SHARED_COHERENT)
+    l1s[0].fill(5, NumaClass.LOCAL)
+    l1s[0].lookup(5, write=True)
+    result = domain.flush()
+    assert result.local_dirty_lines == 0
+
+
+def test_disabled_invalidations_keep_caches_warm():
+    domain, l1s, l2 = make_domain(CacheArch.NUMA_AWARE, invalidations=False)
+    populate(l1s, l2)
+    result = domain.flush()
+    assert all(l1.valid_lines == 2 for l1 in l1s)
+    assert l2.valid_lines == 3
+    assert result.local_dirty_lines == 0
+    assert domain.stats["flushes_skipped"] == 1
+    assert domain.stats["flushes"] == 0
+
+
+def test_flush_counts():
+    domain, l1s, l2 = make_domain(CacheArch.MEM_SIDE)
+    domain.flush()
+    domain.flush()
+    assert domain.stats["flushes"] == 2

@@ -1,0 +1,154 @@
+"""Unit tests for configuration presets, validation, and scaling."""
+
+import pytest
+
+from repro.config import (
+    LINE_SIZE,
+    CacheConfig,
+    ControllerConfig,
+    GpuConfig,
+    LinkConfig,
+    PlacementPolicy,
+    SystemConfig,
+    hypothetical_config,
+    paper_config,
+    scaled_config,
+    single_gpu_config,
+)
+from repro.errors import ConfigError
+
+
+def test_paper_config_matches_table1():
+    cfg = paper_config()
+    assert cfg.n_sockets == 4
+    assert cfg.gpu.sms == 64
+    assert cfg.gpu.l1.capacity_bytes == 128 * 1024
+    assert cfg.gpu.l1.ways == 4
+    assert cfg.gpu.l2.capacity_bytes == 4 * 1024 * 1024
+    assert cfg.gpu.l2.ways == 16
+    assert cfg.gpu.dram_bandwidth == 768.0
+    assert cfg.gpu.dram_latency == 100
+    assert cfg.link.lanes_per_direction == 8
+    assert cfg.link.lane_bandwidth == 8.0
+    assert cfg.link.latency == 128
+
+
+def test_cache_geometry():
+    cache = CacheConfig(capacity_bytes=4 * 1024 * 1024, ways=16)
+    assert cache.n_sets == 2048
+    assert cache.n_lines == 32768
+
+
+def test_cache_capacity_must_divide():
+    with pytest.raises(ConfigError):
+        CacheConfig(capacity_bytes=1000, ways=3)
+
+
+def test_cache_needs_a_way():
+    with pytest.raises(ConfigError):
+        CacheConfig(capacity_bytes=0, ways=0)
+
+
+def test_link_direction_bandwidth():
+    link = LinkConfig()
+    assert link.direction_bandwidth == 64.0
+    assert link.total_lanes == 16
+
+
+def test_link_validation():
+    with pytest.raises(ConfigError):
+        LinkConfig(lanes_per_direction=0)
+    with pytest.raises(ConfigError):
+        LinkConfig(lane_bandwidth=0)
+
+
+def test_system_needs_a_socket():
+    with pytest.raises(ConfigError):
+        SystemConfig(n_sockets=0)
+
+
+def test_interleave_granularity_floor():
+    with pytest.raises(ConfigError):
+        SystemConfig(interleave_granularity=LINE_SIZE // 2)
+
+
+def test_total_sms():
+    assert paper_config(n_sockets=8).total_sms == 512
+
+
+def test_describe_contains_table1_rows():
+    desc = paper_config().describe()
+    assert desc["Num of GPU sockets"] == "4"
+    assert "768GB/s" in desc["DRAM Bandwidth"]
+    assert "128-cycle latency" in desc["GPU-GPU Interconnect"]
+    assert "100 ns" in desc["DRAM Latency"]
+
+
+def test_scaled_config_preserves_dram_to_link_ratio():
+    full = paper_config()
+    scaled = scaled_config(sms_per_socket=8)
+    full_ratio = full.gpu.dram_bandwidth / full.link.direction_bandwidth
+    scaled_ratio = scaled.gpu.dram_bandwidth / scaled.link.direction_bandwidth
+    assert scaled_ratio == pytest.approx(full_ratio)
+
+
+def test_scaled_config_scales_bandwidth_linearly():
+    a = scaled_config(sms_per_socket=4)
+    b = scaled_config(sms_per_socket=8)
+    assert b.gpu.dram_bandwidth == pytest.approx(2 * a.gpu.dram_bandwidth)
+
+
+def test_scaled_config_keeps_latencies():
+    scaled = scaled_config(sms_per_socket=4)
+    assert scaled.gpu.dram_latency == 100
+    assert scaled.link.latency == 128
+
+
+def test_scaled_config_validates_sm_count():
+    with pytest.raises(ConfigError):
+        scaled_config(sms_per_socket=0)
+
+
+def test_scaled_l2_has_whole_sets():
+    for sms in (1, 2, 4, 8, 16, 32):
+        cfg = scaled_config(sms_per_socket=sms)
+        assert cfg.gpu.l2.capacity_bytes % (cfg.gpu.l2.ways * LINE_SIZE) == 0
+
+
+def test_single_gpu_config():
+    cfg = single_gpu_config(scaled_config())
+    assert cfg.n_sockets == 1
+    assert cfg.placement is PlacementPolicy.LOCAL_ONLY
+
+
+def test_hypothetical_scales_resources():
+    base = scaled_config()
+    hypo = hypothetical_config(base, 4)
+    assert hypo.n_sockets == 1
+    assert hypo.gpu.sms == base.gpu.sms * 4
+    assert hypo.gpu.dram_bandwidth == pytest.approx(base.gpu.dram_bandwidth * 4)
+    assert hypo.gpu.l2.capacity_bytes == base.gpu.l2.capacity_bytes * 4
+
+
+def test_hypothetical_validates_factor():
+    with pytest.raises(ConfigError):
+        hypothetical_config(scaled_config(), 0)
+
+
+def test_controller_defaults():
+    ctl = ControllerConfig()
+    assert ctl.link_sample_time == 5000
+    assert ctl.link_switch_time == 100
+    assert ctl.saturation_threshold == pytest.approx(0.99)
+
+
+def test_gpu_config_defaults_are_pascal_like():
+    gpu = GpuConfig()
+    assert gpu.sms == 64
+    assert gpu.ctas_per_sm * 8 == 64  # 64 warps per SM at 8 warps per CTA
+
+
+def test_configs_are_frozen():
+    cfg = paper_config()
+    with pytest.raises(AttributeError):
+        cfg.n_sockets = 2

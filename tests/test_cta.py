@@ -1,0 +1,127 @@
+"""Unit tests for CTA execution: slices, MLP bounds, completion."""
+
+from repro.gpu.cta import CtaExecution, MemOp, Slice
+from repro.sim.engine import Engine
+
+
+class FakePort:
+    """A memory port with scripted latency; records issue order."""
+
+    def __init__(self, engine, latency=10, sync=False):
+        self.engine = engine
+        self.latency = latency
+        self.sync = sync
+        self.issued = []
+        self.in_flight = 0
+        self.max_in_flight = 0
+
+    def access(self, sm_index, addr, is_write, on_done):
+        self.issued.append((addr, is_write))
+        if self.sync:
+            return True
+        self.in_flight += 1
+        self.max_in_flight = max(self.max_in_flight, self.in_flight)
+
+        def complete():
+            self.in_flight -= 1
+            on_done()
+
+        self.engine.schedule(self.latency, complete)
+        return False
+
+
+def run_cta(slices, mlp=4, port=None, latency=10, sync=False):
+    engine = Engine()
+    port = port or FakePort(engine, latency=latency, sync=sync)
+    done = []
+    cta = CtaExecution(
+        cta_id=0,
+        sm_index=0,
+        slices=slices,
+        engine=engine,
+        port=port,
+        mlp=mlp,
+        on_complete=done.append,
+    )
+    cta.start()
+    engine.run()
+    return cta, port, engine, done
+
+
+def ops(n, write=False):
+    return tuple(MemOp(addr=i * 128, is_write=write) for i in range(n))
+
+
+def test_empty_cta_completes_immediately():
+    cta, _port, engine, done = run_cta([])
+    assert cta.finished
+    assert done
+    assert engine.now == 0
+
+
+def test_single_slice_compute_only():
+    cta, _port, engine, _done = run_cta([Slice(25, ())])
+    assert cta.finished
+    assert engine.now == 25
+
+
+def test_slice_waits_for_both_compute_and_memory():
+    # Compute 50 > memory 10: slice ends at 50.
+    _cta, _port, engine, _ = run_cta([Slice(50, ops(1))], latency=10)
+    assert engine.now == 50
+    # Memory 30 > compute 5: slice ends at 30.
+    _cta, _port, engine, _ = run_cta([Slice(5, ops(1))], latency=30)
+    assert engine.now == 30
+
+
+def test_slices_execute_in_order():
+    _cta, port, engine, _ = run_cta(
+        [Slice(10, ops(2)), Slice(10, ops(2))], latency=5
+    )
+    assert engine.now == 20
+    assert len(port.issued) == 4
+
+
+def test_mlp_bounds_outstanding_requests():
+    _cta, port, _engine, _ = run_cta([Slice(0, ops(16))], mlp=4)
+    assert port.max_in_flight == 4
+    assert len(port.issued) == 16
+
+
+def test_mlp_pipeline_drains_in_waves():
+    # 8 ops at MLP 2, latency 10 -> 4 waves -> 40 cycles.
+    _cta, _port, engine, _ = run_cta([Slice(0, ops(8))], mlp=2, latency=10)
+    assert engine.now == 40
+
+
+def test_synchronous_hits_do_not_occupy_mlp():
+    _cta, port, engine, _ = run_cta([Slice(3, ops(16))], mlp=1, sync=True)
+    assert engine.now == 3  # all hits: slice is compute-bound
+    assert len(port.issued) == 16
+
+
+def test_writes_are_issued_like_reads():
+    _cta, port, _engine, _ = run_cta([Slice(0, ops(4, write=True))])
+    assert all(is_write for _addr, is_write in port.issued)
+
+
+def test_on_complete_called_exactly_once():
+    _cta, _port, _engine, done = run_cta([Slice(1, ops(1)), Slice(1, ())])
+    assert len(done) == 1
+
+
+def test_current_slice_progression():
+    engine = Engine()
+    port = FakePort(engine, latency=10)
+    cta = CtaExecution(0, 0, [Slice(5, ops(1)), Slice(5, ())], engine, port, 4,
+                       on_complete=lambda c: None)
+    assert cta.current_slice == -1
+    cta.start()
+    assert cta.current_slice == 0
+    engine.run()
+    assert cta.finished
+
+
+def test_mlp_floor_of_one():
+    _cta, port, _engine, _ = run_cta([Slice(0, ops(3))], mlp=0)
+    assert port.max_in_flight == 1

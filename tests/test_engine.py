@@ -1,0 +1,139 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Engine
+
+
+def test_starts_at_time_zero():
+    assert Engine().now == 0
+
+
+def test_schedule_and_run_single_event():
+    eng = Engine()
+    fired = []
+    eng.schedule(10, fired.append, "x")
+    eng.run()
+    assert fired == ["x"]
+    assert eng.now == 10
+
+
+def test_events_run_in_time_order():
+    eng = Engine()
+    fired = []
+    eng.schedule(5, fired.append, "late")
+    eng.schedule(1, fired.append, "early")
+    eng.schedule(3, fired.append, "middle")
+    eng.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_same_time_events_run_in_schedule_order():
+    eng = Engine()
+    fired = []
+    for i in range(20):
+        eng.schedule(7, fired.append, i)
+    eng.run()
+    assert fired == list(range(20))
+
+
+def test_schedule_at_absolute_time():
+    eng = Engine()
+    fired = []
+    eng.schedule_at(42, fired.append, "a")
+    eng.run()
+    assert eng.now == 42
+    assert fired == ["a"]
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SchedulingError):
+        eng.schedule(-1, lambda: None)
+
+
+def test_past_absolute_time_rejected():
+    eng = Engine()
+    eng.schedule(10, lambda: None)
+    eng.run()
+    with pytest.raises(SchedulingError):
+        eng.schedule_at(5, lambda: None)
+
+
+def test_events_can_schedule_more_events():
+    eng = Engine()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            eng.schedule(2, chain, n + 1)
+
+    eng.schedule(0, chain, 0)
+    eng.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert eng.now == 10
+
+
+def test_run_until_stops_clock_at_bound():
+    eng = Engine()
+    fired = []
+    eng.schedule(5, fired.append, "a")
+    eng.schedule(50, fired.append, "b")
+    eng.run(until=20)
+    assert fired == ["a"]
+    assert eng.now == 20
+    eng.run()
+    assert fired == ["a", "b"]
+    assert eng.now == 50
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    eng = Engine()
+    eng.run(until=100)
+    assert eng.now == 100
+
+
+def test_max_events_guards_against_livelock():
+    eng = Engine()
+
+    def forever():
+        eng.schedule(1, forever)
+
+    eng.schedule(0, forever)
+    with pytest.raises(SchedulingError):
+        eng.run(max_events=100)
+
+
+def test_events_processed_counter():
+    eng = Engine()
+    for i in range(7):
+        eng.schedule(i, lambda: None)
+    eng.run()
+    assert eng.events_processed == 7
+
+
+def test_pending_events_and_peek():
+    eng = Engine()
+    assert eng.peek_time() is None
+    eng.schedule(9, lambda: None)
+    eng.schedule(3, lambda: None)
+    assert eng.pending_events == 2
+    assert eng.peek_time() == 3
+
+
+def test_zero_delay_event_runs_at_current_time():
+    eng = Engine()
+    times = []
+    eng.schedule(5, lambda: eng.schedule(0, lambda: times.append(eng.now)))
+    eng.run()
+    assert times == [5]
+
+
+def test_callback_args_passed_through():
+    eng = Engine()
+    got = []
+    eng.schedule(1, lambda a, b, c: got.append((a, b, c)), 1, "two", [3])
+    eng.run()
+    assert got == [(1, "two", [3])]

@@ -1,0 +1,60 @@
+"""Unit tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in ("ConfigError", "SimulationError", "SchedulingError",
+                 "CacheError", "InterconnectError", "PlacementError",
+                 "WorkloadError", "RuntimeLaunchError"):
+        exc_type = getattr(errors, name)
+        assert issubclass(exc_type, errors.ReproError)
+
+
+def test_scheduling_error_is_simulation_error():
+    assert issubclass(errors.SchedulingError, errors.SimulationError)
+
+
+def test_catching_base_class_catches_subsystem_errors():
+    with pytest.raises(errors.ReproError):
+        raise errors.CacheError("x")
+
+
+def test_package_exports_are_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_suite_constants_exposed():
+    assert len(repro.SUITE) == 41
+    assert len(repro.GREY_BOX) == 9
+    assert len(repro.STUDY_SET) == 32
+
+
+def test_scale_presets_exposed():
+    assert repro.TINY.name == "tiny"
+    assert repro.SMALL.name == "small"
+    assert repro.MEDIUM.name == "medium"
+
+
+def test_quickstart_docstring_pattern_runs():
+    """The README quickstart pattern works verbatim."""
+    from dataclasses import replace
+
+    from repro import get_workload, run_workload_on, scaled_config
+    from repro.config import CacheArch, LinkPolicy
+
+    cfg = replace(
+        scaled_config(n_sockets=2, sms_per_socket=2),
+        cache_arch=CacheArch.NUMA_AWARE,
+        link_policy=LinkPolicy.DYNAMIC,
+    )
+    result = run_workload_on(cfg, get_workload("Lonestar-SP"), repro.TINY)
+    assert result.cycles > 0

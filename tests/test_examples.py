@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs end-to-end at tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def run_example(path, *args):
+    return subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(path):
+    result = run_example(path, "--scale", "tiny")
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_speedups():
+    result = run_example(
+        Path(__file__).resolve().parent.parent / "examples" / "quickstart.py",
+        "--scale",
+        "tiny",
+        "--workload",
+        "Rodinia-Hotspot",
+    )
+    assert result.returncode == 0, result.stderr
+    assert "single GPU" in result.stdout
+    assert "NUMA-aware" in result.stdout

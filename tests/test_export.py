@@ -1,0 +1,53 @@
+"""Unit tests for result exporters."""
+
+from repro.config import scaled_config
+from repro.core.builder import run_workload_on
+from repro.metrics.export import (
+    RUN_COLUMNS,
+    read_csv,
+    run_to_dict,
+    write_csv,
+    write_json,
+)
+from repro.workloads.spec import TINY
+from repro.workloads.synthetic import make_workload
+
+
+def results(n=2):
+    cfg = scaled_config(n_sockets=2, sms_per_socket=2)
+    out = []
+    for i in range(n):
+        wl = make_workload(f"exp-{i}", n_ctas=8, slices_per_cta=2,
+                           ops_per_slice=4, iterations=1)
+        out.append(run_workload_on(cfg, wl, TINY))
+    return out
+
+
+def test_run_to_dict_has_all_columns():
+    (result,) = results(1)
+    flat = run_to_dict(result)
+    assert set(flat) == set(RUN_COLUMNS)
+    assert flat["cycles"] == result.cycles
+    assert 0.0 <= flat["l1_hit_rate"] <= 1.0
+
+
+def test_csv_roundtrip(tmp_path):
+    runs = results(2)
+    path = tmp_path / "runs.csv"
+    assert write_csv(runs, path) == 2
+    back = read_csv(path)
+    assert len(back) == 2
+    assert back[0]["workload"] == "exp-0"
+    assert back[0]["cycles"] == runs[0].cycles
+    assert isinstance(back[0]["remote_fraction"], float)
+
+
+def test_json_export(tmp_path):
+    import json
+
+    runs = results(1)
+    path = tmp_path / "runs.json"
+    assert write_json(runs, path) == 1
+    data = json.loads(path.read_text())
+    assert data[0]["workload"] == "exp-0"
+    assert data[0]["n_sockets"] == 2

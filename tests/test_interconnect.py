@@ -1,0 +1,169 @@
+"""Unit tests for links, lanes, the switch, and packets."""
+
+import pytest
+
+from repro.config import LinkConfig
+from repro.errors import InterconnectError
+from repro.interconnect.link import Direction, DuplexLink
+from repro.interconnect.packets import (
+    CONTROL_BYTES,
+    DATA_BYTES,
+    PacketKind,
+    packet_bytes,
+)
+from repro.interconnect.switch import Switch
+from repro.sim.engine import Engine
+
+
+def make_link(**overrides):
+    engine = Engine()
+    config = LinkConfig(**overrides)
+    return DuplexLink(0, config, engine), engine
+
+
+def test_packet_sizes():
+    assert packet_bytes(PacketKind.READ_REQUEST) == CONTROL_BYTES
+    assert packet_bytes(PacketKind.WRITE_ACK) == CONTROL_BYTES
+    assert packet_bytes(PacketKind.READ_RESPONSE) == DATA_BYTES
+    assert packet_bytes(PacketKind.WRITE_DATA) == DATA_BYTES
+    assert packet_bytes(PacketKind.WRITEBACK_DATA) == DATA_BYTES
+    assert DATA_BYTES == 128 + CONTROL_BYTES
+
+
+def test_direction_other():
+    assert Direction.EGRESS.other is Direction.INGRESS
+    assert Direction.INGRESS.other is Direction.EGRESS
+
+
+def test_symmetric_start():
+    link, _ = make_link()
+    assert link.is_symmetric()
+    assert link.lanes(Direction.EGRESS) == 8
+    assert link.bandwidth(Direction.EGRESS) == pytest.approx(64.0)
+
+
+def test_transfer_serializes_and_adds_latency():
+    link, _ = make_link()
+    # 64 bytes at 64 B/cyc = 1 cycle + 128 latency.
+    assert link.transfer(0, Direction.EGRESS, 64) == 129
+
+
+def test_transfer_latency_override():
+    link, _ = make_link()
+    assert link.transfer(0, Direction.EGRESS, 64, latency=10) == 11
+
+
+def test_transfer_counts_stats():
+    link, _ = make_link()
+    link.transfer(0, Direction.EGRESS, 100)
+    link.transfer(0, Direction.INGRESS, 50)
+    assert link.stats["egress_bytes"] == 100
+    assert link.stats["ingress_bytes"] == 50
+    assert link.stats["egress_packets"] == 1
+
+
+def test_turn_lane_conserves_total():
+    link, engine = make_link()
+    link.turn_lane(Direction.EGRESS, switch_time=100)
+    assert link.total_lanes == 16
+    assert link.lanes(Direction.EGRESS) == 9
+    assert link.lanes(Direction.INGRESS) == 7
+    engine.run()
+    assert link.total_lanes == 16
+
+
+def test_donor_loses_bandwidth_immediately():
+    link, _ = make_link()
+    link.turn_lane(Direction.EGRESS, switch_time=100)
+    assert link.bandwidth(Direction.INGRESS) == pytest.approx(7 * 8.0)
+
+
+def test_recipient_gains_bandwidth_after_switch_time():
+    link, engine = make_link()
+    link.turn_lane(Direction.EGRESS, switch_time=100)
+    # Before the quiesce commits, egress still runs at the old rate.
+    assert link.bandwidth(Direction.EGRESS) == pytest.approx(64.0)
+    engine.run()
+    assert engine.now == 100
+    assert link.bandwidth(Direction.EGRESS) == pytest.approx(9 * 8.0)
+
+
+def test_min_lanes_enforced():
+    link, engine = make_link()
+    for _ in range(7):
+        link.turn_lane(Direction.EGRESS, switch_time=1)
+        engine.run()
+    assert link.lanes(Direction.INGRESS) == 1
+    with pytest.raises(InterconnectError):
+        link.turn_lane(Direction.EGRESS, switch_time=1)
+
+
+def test_asymmetry_sign():
+    link, engine = make_link()
+    assert link.asymmetry() == 0
+    link.turn_lane(Direction.EGRESS, switch_time=1)
+    engine.run()
+    assert link.asymmetry() == 2  # 9 egress vs 7 ingress
+
+
+def test_reset_symmetric():
+    link, engine = make_link()
+    for _ in range(3):
+        link.turn_lane(Direction.INGRESS, switch_time=1)
+    engine.run()
+    link.reset_symmetric()
+    assert link.is_symmetric()
+    assert link.bandwidth(Direction.EGRESS) == pytest.approx(64.0)
+    assert link.bandwidth(Direction.INGRESS) == pytest.approx(64.0)
+
+
+def test_lane_turn_counts_stat():
+    link, engine = make_link()
+    link.turn_lane(Direction.EGRESS, switch_time=1)
+    engine.run()
+    assert link.stats["lane_turns"] == 1
+
+
+# ---------------------------------------------------------------------------
+# switch
+# ---------------------------------------------------------------------------
+
+def test_switch_needs_two_sockets():
+    with pytest.raises(InterconnectError):
+        Switch(1, LinkConfig(), Engine())
+
+
+def test_switch_rejects_self_route():
+    switch = Switch(4, LinkConfig(), Engine())
+    with pytest.raises(InterconnectError):
+        switch.send(0, 1, 1, PacketKind.READ_REQUEST)
+
+
+def test_switch_end_to_end_latency():
+    switch = Switch(2, LinkConfig(), Engine())
+    # 32B request: 1 cycle on each link + 2 x 64 half-latency.
+    arrival = switch.send(0, 0, 1, PacketKind.READ_REQUEST)
+    assert arrival == 1 + 64 + 1 + 64
+
+
+def test_switch_charges_both_links():
+    switch = Switch(2, LinkConfig(), Engine())
+    switch.send(0, 0, 1, PacketKind.READ_RESPONSE)
+    assert switch.links[0].stats["egress_bytes"] == DATA_BYTES
+    assert switch.links[1].stats["ingress_bytes"] == DATA_BYTES
+    assert switch.links[1].stats["egress_bytes"] == 0
+
+
+def test_switch_total_bytes_counts_once_per_packet():
+    switch = Switch(4, LinkConfig(), Engine())
+    switch.send(0, 0, 1, PacketKind.READ_REQUEST)
+    switch.send(0, 2, 3, PacketKind.READ_RESPONSE)
+    assert switch.total_bytes == CONTROL_BYTES + DATA_BYTES
+
+
+def test_switch_contention_on_shared_ingress():
+    """Two sources sending to one destination serialize on its ingress."""
+    switch = Switch(3, LinkConfig(), Engine())
+    a1 = switch.send(0, 0, 2, PacketKind.READ_RESPONSE)
+    a2 = switch.send(0, 1, 2, PacketKind.READ_RESPONSE)
+    assert a2 > a1

@@ -1,0 +1,140 @@
+"""Unit tests for results, aggregation math, and timeline binning."""
+
+import pytest
+
+from repro.metrics.report import (
+    RunResult,
+    SocketStats,
+    arithmetic_mean,
+    geometric_mean,
+)
+from repro.metrics.timeline import asymmetry_score, bin_series
+from repro.sim.stats import TimeSeries
+
+
+def make_socket(socket_id=0, **overrides):
+    values = dict(
+        socket_id=socket_id,
+        l1_hits=80,
+        l1_misses=20,
+        l2_hits=10,
+        l2_misses=10,
+        local_accesses=75,
+        remote_accesses=25,
+        dram_bytes=1000,
+        egress_bytes=500,
+        ingress_bytes=300,
+        lane_turns=2,
+        ctas_completed=10,
+        flushes=1,
+        remote_read_requests=5,
+    )
+    values.update(overrides)
+    return SocketStats(**values)
+
+
+def make_result(cycles=1000, n_sockets=2, workload="w"):
+    return RunResult(
+        workload=workload,
+        config_label="test",
+        cycles=cycles,
+        n_sockets=n_sockets,
+        sockets=[make_socket(i) for i in range(n_sockets)],
+        switch_bytes=1600,
+        migrations=3,
+        kernels=2,
+    )
+
+
+def test_socket_hit_rates():
+    s = make_socket()
+    assert s.l1_hit_rate == pytest.approx(0.8)
+    assert s.l2_hit_rate == pytest.approx(0.5)
+    assert s.remote_fraction == pytest.approx(0.25)
+
+
+def test_socket_rates_handle_zero_traffic():
+    s = make_socket(l1_hits=0, l1_misses=0, l2_hits=0, l2_misses=0,
+                    local_accesses=0, remote_accesses=0)
+    assert s.l1_hit_rate == 0.0
+    assert s.l2_hit_rate == 0.0
+    assert s.remote_fraction == 0.0
+
+
+def test_speedup_over():
+    fast = make_result(cycles=500)
+    slow = make_result(cycles=1000)
+    assert fast.speedup_over(slow) == pytest.approx(2.0)
+    assert slow.speedup_over(fast) == pytest.approx(0.5)
+
+
+def test_total_aggregates():
+    r = make_result(n_sockets=4)
+    assert r.total_remote_fraction == pytest.approx(0.25)
+    assert r.total_lane_turns == 8
+    assert r.total_dram_bytes == 4000
+
+
+def test_arithmetic_mean():
+    assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    assert arithmetic_mean([]) == 0.0
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0
+
+
+def test_geometric_mean_below_arithmetic():
+    values = [1.0, 2.0, 10.0]
+    assert geometric_mean(values) < arithmetic_mean(values)
+
+
+# ---------------------------------------------------------------------------
+# timeline binning
+# ---------------------------------------------------------------------------
+
+def series(samples):
+    ts = TimeSeries("s")
+    for t, v in samples:
+        ts.record(t, v)
+    return ts
+
+
+def test_bin_series_averages_within_windows():
+    ts = series([(10, 1.0), (20, 0.0), (110, 0.5)])
+    profile = bin_series(ts, window=100, end_time=200)
+    assert profile.utilization == [pytest.approx(0.5), pytest.approx(0.5)]
+    assert profile.times == [0, 100]
+
+
+def test_bin_series_empty_windows_are_zero():
+    ts = series([(10, 1.0)])
+    profile = bin_series(ts, window=50, end_time=200)
+    assert profile.utilization[0] == pytest.approx(1.0)
+    assert profile.utilization[1:] == [0.0, 0.0, 0.0]
+
+
+def test_bin_series_validates_window():
+    with pytest.raises(ValueError):
+        bin_series(series([]), window=0, end_time=10)
+
+
+def test_profile_helpers():
+    ts = series([(10, 1.0), (110, 0.2)])
+    profile = bin_series(ts, window=100, end_time=200)
+    assert profile.peak() == pytest.approx(1.0)
+    assert profile.mean() == pytest.approx(0.6)
+    assert profile.saturated_fraction(threshold=0.99) == pytest.approx(0.5)
+
+
+def test_asymmetry_score():
+    egress = bin_series(series([(10, 1.0), (110, 1.0)]), 100, 200)
+    ingress = bin_series(series([(10, 0.0), (110, 0.5)]), 100, 200)
+    assert asymmetry_score(egress, ingress) == pytest.approx(0.75)
+
+
+def test_asymmetry_score_empty():
+    empty = bin_series(series([]), 100, 0)
+    assert asymmetry_score(empty, empty) >= 0.0

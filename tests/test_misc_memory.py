@@ -1,0 +1,103 @@
+"""Unit tests for address helpers, DRAM, and the SM wrapper."""
+
+import pytest
+
+from repro.config import CacheArch, GpuConfig
+from repro.gpu.sm import Sm
+from repro.memory.address import (
+    line_base,
+    line_of,
+    lines_in_range,
+    page_base,
+    page_of,
+)
+from repro.memory.dram import DramChannel
+
+
+# ---------------------------------------------------------------------------
+# address helpers
+# ---------------------------------------------------------------------------
+
+def test_line_of():
+    assert line_of(0) == 0
+    assert line_of(127) == 0
+    assert line_of(128) == 1
+
+
+def test_line_base():
+    assert line_base(200) == 128
+    assert line_base(128) == 128
+
+
+def test_page_of_and_base():
+    assert page_of(0) == 0
+    assert page_of(4095) == 0
+    assert page_of(4096) == 1
+    assert page_base(5000) == 4096
+
+
+def test_lines_in_range():
+    assert list(lines_in_range(0, 128)) == [0]
+    assert list(lines_in_range(0, 129)) == [0, 1]
+    assert list(lines_in_range(100, 100)) == [0, 1]
+    assert list(lines_in_range(0, 0)) == []
+
+
+def test_custom_granularities():
+    assert line_of(512, line_size=256) == 2
+    assert page_of(8192, page_size=8192) == 1
+
+
+# ---------------------------------------------------------------------------
+# DRAM
+# ---------------------------------------------------------------------------
+
+def test_dram_access_includes_latency():
+    dram = DramChannel(0, bandwidth=128.0, latency=100)
+    done = dram.access(0, 128)
+    assert done == 1 + 100
+
+
+def test_dram_serializes_on_bandwidth():
+    dram = DramChannel(0, bandwidth=1.0, latency=0)
+    first = dram.access(0, 64)
+    second = dram.access(0, 64)
+    assert first == 64
+    assert second == 128
+
+
+def test_dram_counts_reads_and_writes():
+    dram = DramChannel(0, bandwidth=128.0, latency=0)
+    dram.access(0, 128)
+    dram.access(0, 128, write=True)
+    assert dram.stats["reads"] == 1
+    assert dram.stats["writes"] == 1
+    assert dram.bytes_total == 256
+
+
+# ---------------------------------------------------------------------------
+# SM
+# ---------------------------------------------------------------------------
+
+def test_sm_slot_accounting():
+    sm = Sm(0, 0, GpuConfig(ctas_per_sm=2), CacheArch.MEM_SIDE)
+    assert sm.has_free_slot
+    sm.occupy()
+    sm.occupy()
+    assert not sm.has_free_slot
+    sm.release()
+    assert sm.has_free_slot
+    assert sm.stats["ctas_started"] == 2
+    assert sm.stats["ctas_finished"] == 1
+
+
+def test_sm_l1_is_write_through():
+    sm = Sm(0, 0, GpuConfig(), CacheArch.MEM_SIDE)
+    assert sm.l1.write_through
+
+
+def test_numa_aware_sm_l1_is_partitioned():
+    sm = Sm(0, 0, GpuConfig(), CacheArch.NUMA_AWARE)
+    assert sm.l1.partitioned
+    plain = Sm(0, 0, GpuConfig(), CacheArch.SHARED_COHERENT)
+    assert not plain.l1.partitioned

@@ -1,0 +1,105 @@
+"""Unit tests for multi-tenancy partitioning (Section 6 discussion)."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.errors import RuntimeLaunchError
+from repro.runtime.partitioning import (
+    GpuPartition,
+    PartitionPlan,
+    run_partitioned,
+)
+from repro.workloads.spec import TINY
+from repro.workloads.synthetic import make_workload
+
+
+def micro(name="tenant", ctas=12):
+    return make_workload(name, pattern="reuse", n_ctas=ctas,
+                         slices_per_cta=3, ops_per_slice=6, iterations=1)
+
+
+def test_partition_validation():
+    with pytest.raises(RuntimeLaunchError):
+        GpuPartition("p", 0, 0)
+    with pytest.raises(RuntimeLaunchError):
+        GpuPartition("p", -1, 2)
+
+
+def test_even_plan():
+    plan = PartitionPlan.even(4, 2)
+    assert len(plan.partitions) == 2
+    assert list(plan.partitions[0].sockets) == [0, 1]
+    assert list(plan.partitions[1].sockets) == [2, 3]
+
+
+def test_even_plan_rejects_uneven_split():
+    with pytest.raises(RuntimeLaunchError):
+        PartitionPlan.even(4, 3)
+
+
+def test_plan_validate_rejects_overlap():
+    plan = PartitionPlan((GpuPartition("a", 0, 2), GpuPartition("b", 1, 2)))
+    with pytest.raises(RuntimeLaunchError):
+        plan.validate(scaled_config(n_sockets=3, sms_per_socket=2))
+
+
+def test_plan_validate_rejects_out_of_range():
+    plan = PartitionPlan((GpuPartition("a", 0, 8),))
+    with pytest.raises(RuntimeLaunchError):
+        plan.validate(scaled_config(n_sockets=4, sms_per_socket=2))
+
+
+def test_plan_validate_rejects_holes():
+    plan = PartitionPlan((GpuPartition("a", 0, 2),))
+    with pytest.raises(RuntimeLaunchError):
+        plan.validate(scaled_config(n_sockets=4, sms_per_socket=2))
+
+
+def test_partitioned_run_completes_all_tenants():
+    cfg = scaled_config(n_sockets=4, sms_per_socket=2)
+    plan = PartitionPlan.even(4, 2)
+    result, tenants = run_partitioned(
+        cfg, plan, [micro("a"), micro("b")], TINY
+    )
+    assert len(tenants) == 2
+    assert {t.workload for t in tenants} == {"a", "b"}
+    assert result.cycles >= max(t.finish_cycle for t in tenants)
+    assert all(t.kernels >= 1 for t in tenants)
+
+
+def test_tenants_stay_inside_their_partitions():
+    cfg = scaled_config(n_sockets=4, sms_per_socket=2)
+    plan = PartitionPlan.even(4, 2)
+    result, _tenants = run_partitioned(
+        cfg, plan, [micro("a"), micro("b")], TINY
+    )
+    # Private reuse tenants with first-touch placement stay local: no
+    # cross-partition traffic means a near-zero remote fraction.
+    assert result.total_remote_fraction < 0.05
+
+
+def test_workload_count_must_match_partitions():
+    cfg = scaled_config(n_sockets=4, sms_per_socket=2)
+    plan = PartitionPlan.even(4, 2)
+    with pytest.raises(RuntimeLaunchError):
+        run_partitioned(cfg, plan, [micro("a")], TINY)
+
+
+def test_partitioning_isolates_slowdown():
+    """A heavy tenant does not slow an isolated light tenant's SMs."""
+    cfg = scaled_config(n_sockets=4, sms_per_socket=2)
+    plan = PartitionPlan.even(4, 2)
+    light = micro("light", ctas=8)
+    heavy = make_workload("heavy", pattern="reuse", n_ctas=64,
+                          slices_per_cta=6, ops_per_slice=8, iterations=2)
+    _result, tenants = run_partitioned(cfg, plan, [light, heavy], TINY)
+    by_name = {t.workload: t for t in tenants}
+    assert by_name["light"].finish_cycle < by_name["heavy"].finish_cycle
+
+
+def test_single_partition_equals_whole_machine():
+    cfg = scaled_config(n_sockets=2, sms_per_socket=2)
+    plan = PartitionPlan.even(2, 1)
+    result, tenants = run_partitioned(cfg, plan, [micro("solo")], TINY)
+    assert len(tenants) == 1
+    assert result.cycles == tenants[0].finish_cycle

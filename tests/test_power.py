@@ -1,0 +1,74 @@
+"""Unit tests for the Section 6 interconnect power model."""
+
+import pytest
+
+from repro.metrics.report import RunResult
+from repro.power.interconnect_power import (
+    GPU_MODULE_TDP_WATTS,
+    PICOJOULES_PER_BIT,
+    estimate_power,
+    scale_power_to_paper,
+)
+
+
+def make_result(switch_bytes, cycles, n_sockets=4):
+    return RunResult(
+        workload="w",
+        config_label="c",
+        cycles=cycles,
+        n_sockets=n_sockets,
+        sockets=[],
+        switch_bytes=switch_bytes,
+        migrations=0,
+        kernels=1,
+    )
+
+
+def test_energy_is_bits_times_picojoules():
+    result = make_result(switch_bytes=1000, cycles=1000)
+    est = estimate_power(result)
+    expected = 1000 * 8 * PICOJOULES_PER_BIT * 1e-12
+    assert est.energy_joules == pytest.approx(expected)
+
+
+def test_watts_are_energy_over_nanoseconds():
+    # 1 GB moved in 1 ms at 10 pJ/b = 80 mJ / 1 ms = 80 W.
+    result = make_result(switch_bytes=10**9, cycles=10**6)
+    est = estimate_power(result)
+    assert est.average_watts == pytest.approx(80.0)
+
+
+def test_overhead_fraction_against_tdp_budget():
+    result = make_result(switch_bytes=10**9, cycles=10**6, n_sockets=4)
+    est = estimate_power(result)
+    assert est.overhead_fraction == pytest.approx(
+        80.0 / (4 * GPU_MODULE_TDP_WATTS)
+    )
+
+
+def test_zero_cycles_gives_zero_watts():
+    est = estimate_power(make_result(switch_bytes=100, cycles=0))
+    assert est.average_watts == 0.0
+
+
+def test_zero_traffic_gives_zero_power():
+    est = estimate_power(make_result(switch_bytes=0, cycles=1000))
+    assert est.energy_joules == 0.0
+    assert est.average_watts == 0.0
+
+
+def test_milliwatts_helper():
+    est = estimate_power(make_result(switch_bytes=10**6, cycles=10**6))
+    assert est.average_milliwatts == pytest.approx(est.average_watts * 1e3)
+
+
+def test_scale_power_projection():
+    est = estimate_power(make_result(switch_bytes=10**6, cycles=10**6))
+    projected = scale_power_to_paper(est, bandwidth_scale=1 / 16)
+    assert projected == pytest.approx(est.average_watts * 16)
+
+
+def test_scale_power_validates_scale():
+    est = estimate_power(make_result(switch_bytes=1, cycles=1))
+    with pytest.raises(ValueError):
+        scale_power_to_paper(est, 0)

@@ -1,0 +1,133 @@
+"""Unit tests for the FIFO bandwidth server and utilization windows."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.resource import BandwidthResource, UtilizationWindow
+
+
+def test_positive_rate_required():
+    with pytest.raises(SimulationError):
+        BandwidthResource("bad", 0)
+    with pytest.raises(SimulationError):
+        BandwidthResource("bad", -1)
+
+
+def test_service_time_is_bytes_over_rate():
+    res = BandwidthResource("r", 10.0)
+    done = res.service(0, 100)
+    assert done == 10
+
+
+def test_service_rounds_partial_cycles_up():
+    res = BandwidthResource("r", 3.0)
+    assert res.service(0, 10) == 4  # 10/3 = 3.33 -> 4
+
+
+def test_back_to_back_transfers_queue_fifo():
+    res = BandwidthResource("r", 10.0)
+    first = res.service(0, 100)
+    second = res.service(0, 100)
+    assert first == 10
+    assert second == 20
+
+
+def test_idle_gap_is_not_counted_busy():
+    res = BandwidthResource("r", 10.0)
+    res.service(0, 100)  # busy [0, 10)
+    res.service(50, 100)  # busy [50, 60)
+    assert res.busy_up_to(100) == pytest.approx(20.0)
+    assert res.busy_up_to(55) == pytest.approx(15.0)
+
+
+def test_busy_up_to_during_backlog():
+    res = BandwidthResource("r", 1.0)
+    res.service(0, 100)  # busy until 100
+    assert res.busy_up_to(40) == pytest.approx(40.0)
+    assert res.busy_up_to(100) == pytest.approx(100.0)
+
+
+def test_queue_delay():
+    res = BandwidthResource("r", 1.0)
+    assert res.queue_delay(0) == 0.0
+    res.service(0, 50)
+    assert res.queue_delay(10) == pytest.approx(40.0)
+    assert res.queue_delay(60) == 0.0
+
+
+def test_rate_change_affects_only_new_transfers():
+    res = BandwidthResource("r", 10.0)
+    res.service(0, 100)  # ends at 10
+    res.set_rate(20.0)
+    assert res.service(10, 100) == 15  # 100/20 = 5 more
+
+
+def test_set_rate_validation():
+    res = BandwidthResource("r", 1.0)
+    with pytest.raises(SimulationError):
+        res.set_rate(0)
+
+
+def test_stall_until_blocks_service_without_busy_credit():
+    res = BandwidthResource("r", 10.0)
+    res.stall_until(100)
+    done = res.service(0, 100)
+    assert done == 110
+    # The stall window is not busy time.
+    assert res.busy_up_to(110) == pytest.approx(10.0)
+
+
+def test_negative_bytes_rejected():
+    res = BandwidthResource("r", 1.0)
+    with pytest.raises(SimulationError):
+        res.service(0, -5)
+
+
+def test_zero_byte_transfer_is_free():
+    res = BandwidthResource("r", 1.0)
+    assert res.service(5, 0) == 5
+
+
+def test_counters():
+    res = BandwidthResource("r", 10.0)
+    res.service(0, 30)
+    res.service(0, 70)
+    assert res.bytes_total == 100
+    assert res.transfers == 2
+
+
+def test_window_utilization_full_saturation():
+    res = BandwidthResource("r", 1.0)
+    win = UtilizationWindow(res)
+    res.service(0, 1000)  # backlogged way past the window
+    assert win.sample(100) == pytest.approx(1.0)
+
+
+def test_window_utilization_partial():
+    res = BandwidthResource("r", 10.0)
+    win = UtilizationWindow(res)
+    res.service(0, 100)  # busy [0, 10)
+    assert win.sample(100) == pytest.approx(0.1)
+
+
+def test_window_resets_between_samples():
+    res = BandwidthResource("r", 10.0)
+    win = UtilizationWindow(res)
+    res.service(0, 100)  # busy [0, 10)
+    win.sample(50)
+    # No new traffic in [50, 100).
+    assert win.sample(100) == pytest.approx(0.0)
+
+
+def test_window_clamps_to_unit_interval():
+    res = BandwidthResource("r", 10.0)
+    win = UtilizationWindow(res)
+    res.service(0, 10_000)
+    value = win.sample(10)
+    assert 0.0 <= value <= 1.0
+
+
+def test_window_zero_elapsed_returns_zero():
+    res = BandwidthResource("r", 10.0)
+    win = UtilizationWindow(res)
+    assert win.sample(0) == 0.0

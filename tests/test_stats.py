@@ -1,0 +1,83 @@
+"""Unit tests for stat counters and time series."""
+
+import pytest
+
+from repro.sim.stats import StatGroup, TimeSeries
+
+
+def test_counters_default_to_zero():
+    s = StatGroup("x")
+    assert s["anything"] == 0
+
+
+def test_add_accumulates():
+    s = StatGroup("x")
+    s.add("hits")
+    s.add("hits", 4)
+    assert s["hits"] == 5
+
+
+def test_contains():
+    s = StatGroup("x")
+    assert "hits" not in s
+    s.add("hits")
+    assert "hits" in s
+
+
+def test_as_dict_snapshot_is_independent():
+    s = StatGroup("x")
+    s.add("a", 2)
+    snap = s.as_dict()
+    s.add("a")
+    assert snap == {"a": 2}
+    assert s["a"] == 3
+
+
+def test_ratio():
+    s = StatGroup("x")
+    s.add("hits", 3)
+    s.add("misses", 1)
+    assert s.ratio("hits", "hits", "misses") == pytest.approx(0.75)
+
+
+def test_ratio_zero_denominator():
+    s = StatGroup("x")
+    assert s.ratio("hits", "misses") == 0.0
+
+
+def test_timeseries_record_and_len():
+    ts = TimeSeries("t")
+    ts.record(0, 1.0)
+    ts.record(10, 2.0)
+    assert len(ts) == 2
+    assert ts.times == [0, 10]
+    assert ts.values == [1.0, 2.0]
+
+
+def test_timeseries_rejects_time_travel():
+    ts = TimeSeries("t")
+    ts.record(10, 1.0)
+    with pytest.raises(ValueError):
+        ts.record(5, 2.0)
+
+
+def test_timeseries_allows_equal_times():
+    ts = TimeSeries("t")
+    ts.record(10, 1.0)
+    ts.record(10, 2.0)
+    assert len(ts) == 2
+
+
+def test_timeseries_last():
+    ts = TimeSeries("t")
+    assert ts.last() is None
+    ts.record(3, 0.5)
+    assert ts.last() == (3, 0.5)
+
+
+def test_timeseries_mean():
+    ts = TimeSeries("t")
+    assert ts.mean() == 0.0
+    ts.record(0, 1.0)
+    ts.record(1, 3.0)
+    assert ts.mean() == pytest.approx(2.0)

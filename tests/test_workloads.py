@@ -1,0 +1,310 @@
+"""Unit tests for patterns, specs, the 41-workload suite, and the factory."""
+
+import random
+
+import pytest
+
+from repro.config import LINE_SIZE
+from repro.errors import WorkloadError
+from repro.workloads.patterns import (
+    PatternGeometry,
+    PatternKind,
+    Region,
+    generate_addresses,
+)
+from repro.workloads.spec import (
+    MEDIUM,
+    SMALL,
+    TINY,
+    KernelSpec,
+    WorkloadScale,
+    WorkloadSpec,
+)
+from repro.workloads.suite import GREY_BOX, STUDY_SET, SUITE, get_workload, workloads_by_suite
+from repro.workloads.synthetic import make_workload, resolve_pattern
+
+
+def geometry(n_ctas=8):
+    private = Region(0, 1024 * LINE_SIZE)
+    shared = Region(private.end, 128 * LINE_SIZE)
+    output = Region(shared.end, 16 * LINE_SIZE)
+    return PatternGeometry(
+        n_ctas=n_ctas,
+        private_region=private,
+        shared_region=shared,
+        output_region=output,
+        halo_fraction=0.5,
+        shared_fraction=0.5,
+    )
+
+
+# ---------------------------------------------------------------------------
+# regions and geometry
+# ---------------------------------------------------------------------------
+
+def test_region_validation():
+    with pytest.raises(WorkloadError):
+        Region(0, 0)
+
+
+def test_region_line_math():
+    region = Region(256, 4 * LINE_SIZE)
+    assert region.n_lines == 4
+    assert region.line_addr(0) == 256
+    assert region.line_addr(4) == 256  # wraps
+
+
+def test_cta_chunks_partition_private_region():
+    geo = geometry(n_ctas=8)
+    chunks = [geo.cta_chunk(i) for i in range(8)]
+    assert all(c.n_lines == 128 for c in chunks)
+    assert chunks[1].start == chunks[0].end
+
+
+# ---------------------------------------------------------------------------
+# pattern generators
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kind", list(PatternKind))
+def test_generators_stay_in_bounds(kind):
+    geo = geometry()
+    rng = random.Random(7)
+    addrs = generate_addresses(kind, geo, cta=3, n_ops=64, rng=rng)
+    assert len(addrs) == 64
+    top = geo.output_region.end
+    assert all(0 <= a < top for a in addrs)
+    assert all(a % LINE_SIZE == 0 for a in addrs)
+
+
+def test_generators_deterministic_for_same_seed():
+    geo = geometry()
+    a = generate_addresses(PatternKind.RANDOM_GLOBAL, geo, 1, 32, random.Random(3))
+    b = generate_addresses(PatternKind.RANDOM_GLOBAL, geo, 1, 32, random.Random(3))
+    assert a == b
+
+
+def test_private_stream_is_sequential_within_chunk():
+    geo = geometry()
+    addrs = generate_addresses(
+        PatternKind.PRIVATE_STREAM, geo, 0, 8, random.Random(0), slice_index=0
+    )
+    assert addrs == [i * LINE_SIZE for i in range(8)]
+
+
+def test_private_stream_phase_offset_shifts_addresses():
+    geo = geometry()
+    a = generate_addresses(PatternKind.PRIVATE_STREAM, geo, 0, 8, random.Random(0),
+                           phase_offset=0)
+    b = generate_addresses(PatternKind.PRIVATE_STREAM, geo, 0, 8, random.Random(0),
+                           phase_offset=16)
+    assert set(a).isdisjoint(b)
+
+
+def test_private_reuse_rereads_same_working_set_each_slice():
+    geo = geometry()
+    first = generate_addresses(
+        PatternKind.PRIVATE_REUSE, geo, 0, 32, random.Random(0), slice_index=0
+    )
+    second = generate_addresses(
+        PatternKind.PRIVATE_REUSE, geo, 0, 32, random.Random(0), slice_index=3
+    )
+    assert first == second  # the reuse is across slices
+
+
+def test_reduction_and_gather_target_output_region():
+    geo = geometry()
+    for kind in (PatternKind.REDUCTION, PatternKind.GATHER_READ):
+        addrs = generate_addresses(kind, geo, 5, 32, random.Random(0))
+        assert all(geo.output_region.start <= a < geo.output_region.end
+                   for a in addrs)
+
+
+def test_shared_read_mixes_regions():
+    geo = geometry()
+    addrs = generate_addresses(PatternKind.SHARED_READ, geo, 2, 200, random.Random(1))
+    in_shared = sum(
+        1 for a in addrs if geo.shared_region.start <= a < geo.shared_region.end
+    )
+    assert 0 < in_shared < 200
+
+
+def test_stencil_halo_touches_neighbour():
+    geo = geometry()
+    addrs = generate_addresses(PatternKind.STENCIL_HALO, geo, 0, 200, random.Random(1))
+    own = geo.cta_chunk(0)
+    outside = [a for a in addrs if not own.start <= a < own.end]
+    assert outside  # halo_fraction = 0.5 guarantees some
+    neighbour = geo.cta_chunk(1)
+    assert all(neighbour.start <= a < neighbour.end for a in outside)
+
+
+def test_zero_ops_returns_empty():
+    assert generate_addresses(PatternKind.REDUCTION, geometry(), 0, 0,
+                              random.Random(0)) == []
+
+
+# ---------------------------------------------------------------------------
+# kernel spec / workload spec
+# ---------------------------------------------------------------------------
+
+def test_kernel_spec_validates_mix():
+    with pytest.raises(WorkloadError):
+        KernelSpec("k", 1.0, 4, 8, 10, 0.1, {PatternKind.REDUCTION: 0.5})
+
+
+def test_kernel_spec_validates_write_fraction():
+    with pytest.raises(WorkloadError):
+        KernelSpec("k", 1.0, 4, 8, 10, 1.5, {PatternKind.REDUCTION: 1.0})
+
+
+def test_workload_scale_caps_and_floors():
+    scale = WorkloadScale("s", cta_cap=100, footprint_lines=1000)
+    assert scale.scaled_ctas(10**6, 1.0) == 100
+    assert scale.scaled_ctas(50, 1.0) == 50
+    assert scale.scaled_ctas(1, 0.1) == 2  # floor
+
+
+def test_build_kernels_produces_expected_count():
+    spec = get_workload("Rodinia-Hotspot")
+    kernels = spec.build_kernels(TINY)
+    assert len(kernels) == spec.iterations * len(spec.kernels)
+
+
+def test_init_kernel_prepended_when_requested():
+    spec = get_workload("HPC-MCB")
+    kernels = spec.build_kernels(TINY)
+    assert kernels[0].name.endswith(".init")
+    assert kernels[0].n_ctas == 1
+
+
+def test_init_kernel_touches_every_output_page():
+    from repro.config import PAGE_SIZE
+
+    spec = get_workload("HPC-MCB")
+    geo = spec._geometry(TINY)
+    init = spec.build_kernels(TINY)[0]
+    _cta, slices = init.materialize(0)
+    pages = {op.addr // PAGE_SIZE for s in slices for op in s.ops}
+    out = geo["output"]
+    expected = set(range(out.start // PAGE_SIZE, (out.end - 1) // PAGE_SIZE + 1))
+    assert pages == expected
+
+
+def test_cta_builder_is_deterministic():
+    spec = get_workload("Rodinia-Euler3D")
+    k1 = spec.build_kernels(TINY)[0]
+    k2 = spec.build_kernels(TINY)[0]
+    assert k1.build_cta(5) == k2.build_cta(5)
+
+
+def test_different_ctas_get_different_streams():
+    spec = get_workload("Rodinia-Euler3D")
+    kernel = spec.build_kernels(TINY)[0]
+    a = [op.addr for s in kernel.build_cta(0) for op in s.ops]
+    b = [op.addr for s in kernel.build_cta(1) for op in s.ops]
+    assert a != b
+
+
+def test_scales_are_ordered():
+    assert TINY.cta_cap < SMALL.cta_cap < MEDIUM.cta_cap
+    assert TINY.footprint_lines < SMALL.footprint_lines < MEDIUM.footprint_lines
+
+
+def test_geometry_regions_do_not_overlap():
+    spec = get_workload("HPC-AMG")
+    geo = spec._geometry(SMALL)
+    assert geo["private"].end == geo["shared"].start
+    assert geo["shared"].end == geo["output"].start
+
+
+# ---------------------------------------------------------------------------
+# suite
+# ---------------------------------------------------------------------------
+
+def test_suite_has_41_workloads():
+    assert len(SUITE) == 41
+
+
+def test_grey_box_and_study_set_partition_suite():
+    assert len(GREY_BOX) == 9
+    assert len(STUDY_SET) == 32
+    assert set(GREY_BOX) | set(STUDY_SET) == set(SUITE)
+    assert not set(GREY_BOX) & set(STUDY_SET)
+
+
+def test_table2_row_values_match_paper():
+    assert SUITE["HPC-AMG"].paper_avg_ctas == 241549
+    assert SUITE["HPC-AMG"].paper_footprint_mb == 3744
+    assert SUITE["Other-Stream-Triad"].paper_avg_ctas == 699051
+    assert SUITE["Lonestar-SSSP-Wln"].paper_avg_ctas == 60
+    assert SUITE["Other-Bitcoin-Crypto"].paper_footprint_mb == 5898
+    assert SUITE["Rodinia-Srad"].paper_avg_ctas == 16384
+
+
+def test_all_suites_represented():
+    suites = {spec.suite for spec in SUITE.values()}
+    assert suites == {"ML", "Rodinia", "HPC", "Lonestar", "Other"}
+
+
+def test_workloads_by_suite():
+    rodinia = workloads_by_suite("Rodinia")
+    assert len(rodinia) == 8
+    with pytest.raises(WorkloadError):
+        workloads_by_suite("nope")
+
+
+def test_get_workload_suggests_close_names():
+    with pytest.raises(WorkloadError) as exc:
+        get_workload("AMG")
+    assert "HPC-AMG" in str(exc.value)
+
+
+def test_every_workload_builds_at_tiny_scale():
+    for spec in SUITE.values():
+        kernels = spec.build_kernels(TINY)
+        assert kernels
+        _cta, slices = kernels[-1].materialize(0)
+        assert slices
+
+
+# ---------------------------------------------------------------------------
+# synthetic factory
+# ---------------------------------------------------------------------------
+
+def test_make_workload_defaults():
+    wl = make_workload("w")
+    assert wl.suite == "custom"
+    assert len(wl.kernels) == 1
+
+
+def test_make_workload_pattern_aliases():
+    assert resolve_pattern("graph") is PatternKind.RANDOM_GLOBAL
+    assert resolve_pattern("broadcast") is PatternKind.SHARED_READ
+    assert resolve_pattern(PatternKind.REDUCTION) is PatternKind.REDUCTION
+
+
+def test_make_workload_unknown_pattern():
+    with pytest.raises(WorkloadError):
+        make_workload("w", pattern="zigzag")
+
+
+def test_make_workload_reduction_mix():
+    wl = make_workload("w", pattern="stream", reduction_fraction=0.25)
+    mix = wl.kernels[0].pattern_mix
+    assert mix[PatternKind.REDUCTION] == pytest.approx(0.25)
+    assert mix[PatternKind.PRIVATE_STREAM] == pytest.approx(0.75)
+
+
+def test_make_workload_validates_reduction_fraction():
+    with pytest.raises(WorkloadError):
+        make_workload("w", reduction_fraction=1.0)
+
+
+def test_make_workload_runs_end_to_end():
+    from repro.config import scaled_config
+    from repro.core.builder import run_workload_on
+
+    wl = make_workload("micro", n_ctas=8, slices_per_cta=2, ops_per_slice=4,
+                       iterations=1)
+    result = run_workload_on(scaled_config(n_sockets=2, sms_per_socket=2), wl, TINY)
+    assert result.cycles > 0
