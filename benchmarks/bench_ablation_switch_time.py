@@ -5,6 +5,8 @@ The paper reports that even a 500-cycle turn loses under 2% versus the
 insensitive to turn cost at sane sample times.
 """
 
+from conftest import SWITCH_SAMPLE_TIME, SWITCH_TIMES
+
 from repro.harness import experiments as exp
 
 
@@ -12,7 +14,7 @@ def test_switch_time_sensitivity(ctx, benchmark):
     result = benchmark.pedantic(
         exp.switch_time_sensitivity,
         args=(ctx,),
-        kwargs={"switch_times": (10, 100, 500), "sample_time": 1000},
+        kwargs={"switch_times": SWITCH_TIMES, "sample_time": SWITCH_SAMPLE_TIME},
         rounds=1,
         iterations=1,
     )

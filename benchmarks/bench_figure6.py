@@ -5,9 +5,9 @@ window to ~1K cycles (see EXPERIMENTS.md), so the sweep covers both sides
 of the optimum like the paper's {1K, 5K, 10K, 50K} sweep does.
 """
 
-from repro.harness import experiments as exp
+from conftest import SAMPLE_TIMES
 
-SAMPLE_TIMES = (500, 1000, 5000, 20000)
+from repro.harness import experiments as exp
 
 
 def test_figure6(ctx, benchmark):

@@ -6,29 +6,101 @@ drivers at the requested scale and records the means the paper reports.
 
 Usage:
     python scripts/run_experiments.py [tiny|small|medium] [out.json]
+        [--jobs N] [--cache-dir DIR | --no-cache]
+
+With ``--jobs N`` (or ``REPRO_JOBS=N``) the full simulation grid is first
+captured from the drivers and fanned out over N worker processes; the
+figures are then computed from the warm cache and are bit-identical to a
+serial (``--jobs 1``) run. With the on-disk cache enabled, repeated
+invocations skip every already-completed simulation.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
-import sys
 import time
 
 from repro.harness import experiments as E
-from repro.harness.runner import ExperimentContext
+from repro.harness.parallel import ParallelRunner, make_context, resolve_jobs
 from repro.workloads.spec import SCALES
 
+#: Figure 6 sampling-time sweep used for the JSON summary.
+SAMPLE_TIMES = (500, 1000, 5000, 20000)
 
-def main() -> None:
-    scale_name = sys.argv[1] if len(sys.argv) > 1 else "tiny"
-    out_path = sys.argv[2] if len(sys.argv) > 2 else "experiment_results.json"
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    parser.add_argument("scale", nargs="?", default="tiny",
+                        choices=sorted(SCALES),
+                        help="workload scale preset")
+    parser.add_argument("output", nargs="?", default="experiment_results.json",
+                        help="output JSON path")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes for the simulation grid "
+        "(default: $REPRO_JOBS or 1 = serial; 0 = one per CPU). "
+        "Parallel runs produce bit-identical figures to serial runs.",
+    )
+    cache = parser.add_mutually_exclusive_group()
+    cache.add_argument(
+        "--cache-dir", default="", metavar="DIR",
+        help="on-disk result cache location "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache entirely",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    jobs = resolve_jobs(args.jobs)
     t0 = time.time()
-    ctx = ExperimentContext(scale=SCALES[scale_name])
-    out: dict = {"scale": scale_name}
+    ctx = make_context(
+        SCALES[args.scale],
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    out: dict = {"scale": args.scale, "jobs": jobs}
 
-    out["figure2"] = E.figure2(ctx).fill_percent
+    # One driver per figure, defined once so the parallel prewarm captures
+    # exactly the grid the serial pass below will request.
+    drivers = {
+        "figure2": lambda c: E.figure2(c),
+        "figure3": lambda c: E.figure3(c),
+        "figure5": lambda c: E.figure5(c),
+        "figure6": lambda c: E.figure6(c, sample_times=SAMPLE_TIMES),
+        "figure8": lambda c: E.figure8(c),
+        "figure9": lambda c: E.figure9(c),
+        "figure10": lambda c: E.figure10(c),
+        "figure11": lambda c: E.figure11(c),
+        "switch_time": lambda c: E.switch_time_sensitivity(
+            c, switch_times=(10, 100, 500), sample_time=1000
+        ),
+        "writeback": lambda c: E.writeback_sensitivity(c),
+        "power": lambda c: E.power_analysis(c),
+    }
 
-    f3 = E.figure3(ctx)
+    if jobs > 1:
+        runner = ParallelRunner(ctx, jobs=jobs)
+        executed = runner.prewarm_experiments(
+            drivers.values(),
+            progress=lambda done, total: print(
+                f"prewarm {done}/{total}", round(time.time() - t0), flush=True
+            ) if done % 25 == 0 or done == total else None,
+        )
+        print(f"prewarmed {executed} simulations "
+              f"({runner.skipped} cached) on {jobs} workers",
+              round(time.time() - t0), flush=True)
+
+    out["figure2"] = drivers["figure2"](ctx).fill_percent
+
+    f3 = drivers["figure3"](ctx)
     out["figure3"] = {
         "mean_traditional": sum(r.traditional for r in f3.rows) / len(f3.rows),
         "mean_locality": sum(r.locality for r in f3.rows) / len(f3.rows),
@@ -41,15 +113,14 @@ def main() -> None:
     }
     print("fig3 done", round(time.time() - t0), flush=True)
 
-    f5 = E.figure5(ctx)
+    f5 = drivers["figure5"](ctx)
     out["figure5"] = {
         "asymmetry": f5.asymmetry,
         "kernels": len(f5.kernel_launch_times),
     }
 
-    sample_times = (500, 1000, 5000, 20000)
-    f6 = E.figure6(ctx, sample_times=sample_times)
-    out["figure6"] = {f"s{s}": f6.mean_speedup(f"s{s}") for s in sample_times}
+    f6 = drivers["figure6"](ctx)
+    out["figure6"] = {f"s{s}": f6.mean_speedup(f"s{s}") for s in SAMPLE_TIMES}
     out["figure6"]["2x"] = f6.mean_speedup("2x")
     out["figure6_best_per_workload"] = {
         name: max(cols[k] for k in cols if k.startswith("s"))
@@ -57,7 +128,7 @@ def main() -> None:
     }
     print("fig6 done", round(time.time() - t0), flush=True)
 
-    f8 = E.figure8(ctx)
+    f8 = drivers["figure8"](ctx)
     out["figure8"] = {
         c: f8.mean_speedup(c)
         for c in ("static_rc", "shared_coherent", "numa_aware")
@@ -65,19 +136,19 @@ def main() -> None:
     out["figure8_rows"] = f8.per_workload
     print("fig8 done", round(time.time() - t0), flush=True)
 
-    f9 = E.figure9(ctx)
+    f9 = drivers["figure9"](ctx)
     out["figure9"] = {
         "mean_overhead": f9.mean_overhead,
         "max_overhead": max(f9.per_workload.values()),
     }
 
-    f10 = E.figure10(ctx)
+    f10 = drivers["figure10"](ctx)
     out["figure10"] = {
         c: f10.mean(c) for c in ("baseline", "combined", "hypothetical")
     }
     print("fig10 done", round(time.time() - t0), flush=True)
 
-    f11 = E.figure11(ctx)
+    f11 = drivers["figure11"](ctx)
     out["figure11"] = {
         str(k): {
             "speedup": f11.mean_speedup(k),
@@ -88,13 +159,12 @@ def main() -> None:
     }
     print("fig11 done", round(time.time() - t0), flush=True)
 
-    st = E.switch_time_sensitivity(ctx, switch_times=(10, 100, 500),
-                                   sample_time=1000)
+    st = drivers["switch_time"](ctx)
     out["switch_time"] = st.mean_speedup
 
-    out["writeback"] = E.writeback_sensitivity(ctx).mean_speedup
+    out["writeback"] = drivers["writeback"](ctx).mean_speedup
 
-    pw = E.power_analysis(ctx)
+    pw = drivers["power"](ctx)
     out["power"] = {
         "baseline_w": pw.geomean("baseline_w"),
         "numa_aware_w": pw.geomean("numa_aware_w"),
@@ -102,10 +172,11 @@ def main() -> None:
 
     out["wall_seconds"] = time.time() - t0
     out["simulations"] = ctx.cached_runs
-    with open(out_path, "w") as handle:
+    with open(args.output, "w") as handle:
         json.dump(out, handle, indent=1, default=str)
-    print("ALL DONE", round(time.time() - t0), "->", out_path, flush=True)
+    print("ALL DONE", round(time.time() - t0), "->", args.output, flush=True)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -26,6 +26,8 @@ from repro.config import (
     LinkPolicy,
     PlacementPolicy,
     SystemConfig,
+    config_digest,
+    config_fingerprint,
     hypothetical_config,
     paper_config,
     scaled_config,
@@ -49,6 +51,8 @@ __all__ = [
     "PlacementPolicy",
     "SystemConfig",
     "WritePolicy",
+    "config_digest",
+    "config_fingerprint",
     "hypothetical_config",
     "paper_config",
     "scaled_config",

@@ -85,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run a table/figure driver")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
     exp.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    exp.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes for the experiment's simulation grid "
+        "(default: $REPRO_JOBS or 1; 0 = one per CPU); results are "
+        "bit-identical to a serial run",
+    )
+    exp.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="enable the on-disk result cache at DIR "
+        "('' = $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
 
     trace = sub.add_parser("trace", help="record a replayable trace")
     trace.add_argument("workload")
@@ -118,8 +129,14 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    ctx = ExperimentContext(scale=SCALES[args.scale])
-    result = EXPERIMENTS[args.name](ctx)
+    from repro.harness.parallel import ParallelRunner, make_context, resolve_jobs
+
+    ctx = make_context(SCALES[args.scale], cache_dir=args.cache_dir)
+    jobs = resolve_jobs(args.jobs)
+    driver = EXPERIMENTS[args.name]
+    if jobs > 1:
+        ParallelRunner(ctx, jobs=jobs).prewarm_experiments([driver])
+    result = driver(ctx)
     print(result.render())
     return 0
 

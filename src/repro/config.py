@@ -20,7 +20,8 @@ Units
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+import hashlib
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 
 from repro.errors import ConfigError
 
@@ -347,3 +348,60 @@ def hypothetical_config(config: SystemConfig, factor: int) -> SystemConfig:
         ),
     )
     return replace(single_gpu_config(config), gpu=big)
+
+
+# ---------------------------------------------------------------------------
+# content-addressed config identity
+# ---------------------------------------------------------------------------
+
+def _canonical_value(value: object) -> object:
+    """Reduce one config value to a canonical, hashable form.
+
+    Dataclasses become ``(class name, (field, value), ...)`` tuples by
+    *introspecting their fields*, so a newly added field can never be
+    silently dropped from a config's identity. Enums reduce to their
+    class and value, floats keep their exact shortest ``repr``.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (f.name, _canonical_value(getattr(value, f.name)))
+                for f in fields(value)
+            ),
+        )
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(
+            (k, _canonical_value(v)) for k, v in sorted(value.items())
+        )
+    if isinstance(value, (int, float, str, bool, bytes, type(None))):
+        return value
+    raise ConfigError(
+        f"cannot canonicalize config value of type {type(value).__name__}"
+    )
+
+
+def config_fingerprint(config: SystemConfig) -> tuple:
+    """Complete, hashable identity of a configuration.
+
+    Derived recursively from every field of the frozen dataclass tree, so
+    two configs compare equal under this key if and only if every
+    parameter — including ones added after this function was written —
+    is identical. This is the memoization key of the experiment harness.
+    """
+    return _canonical_value(config)  # type: ignore[return-value]
+
+
+def config_digest(config: SystemConfig) -> str:
+    """Stable hex digest of :func:`config_fingerprint` (disk-cache key).
+
+    Floats are rendered with ``repr`` (shortest round-trip form), so the
+    digest is reproducible across processes and Python sessions.
+    """
+    return hashlib.sha256(
+        repr(config_fingerprint(config)).encode()
+    ).hexdigest()

@@ -16,7 +16,15 @@ from repro.harness.experiments import (
     table2,
     writeback_sensitivity,
 )
+from repro.harness.diskcache import ResultDiskCache
 from repro.harness.formatting import format_speedup_bars, format_table
+from repro.harness.parallel import (
+    ParallelRunner,
+    RunTask,
+    capture_plan,
+    make_context,
+    resolve_jobs,
+)
 from repro.harness.runner import ExperimentContext
 
 __all__ = [
@@ -37,4 +45,10 @@ __all__ = [
     "format_speedup_bars",
     "format_table",
     "ExperimentContext",
+    "ParallelRunner",
+    "ResultDiskCache",
+    "RunTask",
+    "capture_plan",
+    "make_context",
+    "resolve_jobs",
 ]

@@ -1,0 +1,136 @@
+"""On-disk result cache: completed simulations survive across processes.
+
+Each :class:`repro.metrics.report.RunResult` is stored as one JSON file
+under a cache root (default ``~/.cache/repro/``, overridable via the
+``REPRO_CACHE_DIR`` environment variable). The file name is a SHA-256
+over the *content-addressed* config digest plus the workload name, scale
+preset, timeline-recording flag, and the package version — so a cache
+entry can only ever be replayed for a bit-identical simulation setup, and
+upgrading the simulator invalidates every stale entry automatically.
+
+Entries are written atomically (tmp file + rename) so a killed run never
+leaves a truncated JSON behind, and unreadable entries are treated as
+misses rather than errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import repro
+from repro.config import SystemConfig, config_digest
+from repro.metrics.report import RunResult
+from repro.metrics.export import result_from_json_dict, result_to_json_dict
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_SOURCE_DIGEST: str | None = None
+
+
+def source_digest() -> str:
+    """SHA-256 over the simulator's own source files (computed once).
+
+    Folding this into every cache key means editing any simulator source
+    invalidates stale entries even without a version bump — a rerun after
+    a local change can never silently replay pre-change results.
+    """
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for source in sorted(root.rglob("*.py")):
+            digest.update(str(source.relative_to(root)).encode())
+            digest.update(source.read_bytes())
+        _SOURCE_DIGEST = digest.hexdigest()
+    return _SOURCE_DIGEST
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultDiskCache:
+    """A content-addressed store of finished :class:`RunResult` objects."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def entry_key(workload: str, scale_name: str, record_timelines: bool,
+                  config: SystemConfig) -> str:
+        """Cache-file stem identifying one simulation's full setup."""
+        material = "\n".join(
+            (
+                repro.__version__,
+                source_digest(),
+                workload,
+                scale_name,
+                "timelines" if record_timelines else "plain",
+                config_digest(config),
+            )
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path_for(self, workload: str, scale_name: str,
+                 record_timelines: bool, config: SystemConfig) -> Path:
+        """Where one entry lives on disk."""
+        key = self.entry_key(workload, scale_name, record_timelines, config)
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # get / put
+    # ------------------------------------------------------------------
+    def get(self, workload: str, scale_name: str, record_timelines: bool,
+            config: SystemConfig) -> RunResult | None:
+        """Stored result for this exact setup, or None on a miss."""
+        path = self.path_for(workload, scale_name, record_timelines, config)
+        try:
+            data = json.loads(path.read_text())
+            result = result_from_json_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, workload: str, scale_name: str, record_timelines: bool,
+            config: SystemConfig, result: RunResult) -> Path:
+        """Persist one result; returns the entry path."""
+        path = self.path_for(workload, scale_name, record_timelines, config)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Per-process temp name: concurrent invocations writing the same
+        # entry must not clobber each other's half-written temp file.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(result_to_json_dict(result)))
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        return removed

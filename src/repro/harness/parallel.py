@@ -1,0 +1,281 @@
+"""Parallel experiment execution over a process pool.
+
+The experiment drivers in :mod:`repro.harness.experiments` are pure grids:
+the set of ``(workload, config, record_timelines)`` simulations they
+request never depends on simulation *results*. That makes a two-phase
+strategy exact rather than heuristic:
+
+1. **Capture** — run the drivers against a :class:`PlanningContext`, a
+   context whose ``run()`` records the requested simulation and returns a
+   stub result. This enumerates the full simulation grid without
+   maintaining a parallel copy of each driver's loop (which could drift —
+   the same bug class the content-addressed config key eliminates).
+2. **Execute** — fan the captured, deduplicated grid out over a
+   :class:`concurrent.futures.ProcessPoolExecutor`; each worker builds a
+   fresh system, runs one simulation, and returns a picklable
+   :class:`RunResult`. The parent merges results into the shared
+   :class:`ExperimentContext` memo cache (and the on-disk cache, if one
+   is attached).
+
+Afterwards the drivers are run for real and hit a warm cache, so a
+parallel invocation produces **bit-identical** figures to a serial one:
+every simulation is single-threaded and deterministic for a given
+(workload, config, scale) triple, and nothing about pool scheduling can
+reorder events *inside* a simulation (see DESIGN.md, "Determinism
+contract").
+
+Worker count resolution: an explicit ``jobs`` argument wins, then the
+``REPRO_JOBS`` environment variable, then 1 (serial). ``jobs=0`` means
+"one worker per CPU".
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.config import SystemConfig
+from repro.core.builder import run_workload_on
+from repro.harness.runner import ExperimentContext
+from repro.metrics.report import RunResult
+from repro.workloads.spec import WorkloadScale
+from repro.workloads.suite import get_workload
+
+#: Environment variable providing the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+#: One experiment driver: a callable taking a context (figure3, power, ...).
+Driver = Callable[[ExperimentContext], object]
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count from ``jobs``, else ``REPRO_JOBS``, else 1 (serial)."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(f"{JOBS_ENV}={env!r} is not an integer") from None
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One simulation of the experiment grid (picklable)."""
+
+    workload: str
+    config: SystemConfig
+    record_timelines: bool = False
+
+
+def _execute_task(task: RunTask, scale: WorkloadScale) -> RunResult:
+    """Worker entry point: one fresh, deterministic simulation."""
+    workload = get_workload(task.workload)
+    return run_workload_on(
+        task.config, workload, scale,
+        record_timelines=task.record_timelines,
+    )
+
+
+def _stub_result(workload_name: str, config: SystemConfig) -> RunResult:
+    """A placeholder result for plan capture (never rendered)."""
+    return RunResult(
+        workload=workload_name,
+        config_label="<planning>",
+        cycles=1,
+        n_sockets=config.n_sockets,
+        sockets=[],
+        switch_bytes=0,
+        migrations=0,
+        kernels=1,
+        kernel_launch_times=[0],
+    )
+
+
+@dataclass
+class PlanningContext(ExperimentContext):
+    """A context that records requested simulations instead of running them.
+
+    Drivers executed against it behave normally (their arithmetic sees
+    stub results) while every distinct ``run()`` request is appended to
+    :attr:`tasks` exactly once, in first-request order.
+    """
+
+    tasks: list[RunTask] = field(default_factory=list)
+
+    @classmethod
+    def from_context(cls, ctx: ExperimentContext) -> "PlanningContext":
+        return cls(
+            n_sockets=ctx.n_sockets,
+            sms_per_socket=ctx.sms_per_socket,
+            scale=ctx.scale,
+            record_timelines=ctx.record_timelines,
+        )
+
+    def run(self, workload_name: str, config: SystemConfig,
+            record_timelines: bool | None = None) -> RunResult:
+        record = (
+            self.record_timelines if record_timelines is None
+            else record_timelines
+        )
+        key = self.cache_key(workload_name, config, record)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = _stub_result(workload_name, config)
+            self._cache[key] = cached
+            self.tasks.append(
+                RunTask(workload_name, config, record_timelines=record)
+            )
+        return cached
+
+
+def capture_plan(ctx: ExperimentContext,
+                 drivers: Iterable[Driver]) -> list[RunTask]:
+    """Enumerate the deduplicated simulation grid the drivers will need.
+
+    Tasks already present in ``ctx``'s memo cache are still included —
+    :meth:`ParallelRunner.prewarm` is responsible for skipping them, so a
+    captured plan is reusable across contexts.
+    """
+    planner = PlanningContext.from_context(ctx)
+    for driver in drivers:
+        driver(planner)
+    return planner.tasks
+
+
+class ParallelRunner:
+    """Fans a simulation grid out over processes into a context's cache."""
+
+    def __init__(self, ctx: ExperimentContext, jobs: int | None = None) -> None:
+        self.ctx = ctx
+        self.jobs = resolve_jobs(jobs)
+        #: simulations actually executed by the last prewarm call.
+        self.executed = 0
+        #: tasks satisfied from the memo or disk cache instead.
+        self.skipped = 0
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _missing(self, tasks: Sequence[RunTask]) -> list[RunTask]:
+        """Deduplicate and drop tasks the caches already cover."""
+        ctx = self.ctx
+        missing: list[RunTask] = []
+        seen: set[tuple] = set()
+        for task in tasks:
+            key = ctx.cache_key(task.workload, task.config,
+                                task.record_timelines)
+            if key in seen:
+                continue
+            seen.add(key)
+            if ctx.is_cached(key):
+                self.skipped += 1
+                continue
+            if ctx.disk_cache is not None:
+                stored = ctx.disk_cache.get(
+                    task.workload, ctx.scale.name,
+                    task.record_timelines, task.config,
+                )
+                if stored is not None:
+                    ctx.seed_cache(task.workload, task.config,
+                                   task.record_timelines, stored)
+                    self.skipped += 1
+                    continue
+            missing.append(task)
+        return missing
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def prewarm(self, tasks: Sequence[RunTask],
+                progress: Callable[[int, int], None] | None = None) -> int:
+        """Run every uncached task and merge results into the context.
+
+        Returns the number of simulations actually executed. ``progress``
+        (if given) is called as ``progress(done, total)`` after each
+        completed simulation.
+        """
+        self.executed = 0
+        self.skipped = 0
+        missing = self._missing(tasks)
+        total = len(missing)
+        if not missing:
+            return 0
+        if self.jobs <= 1 or total == 1:
+            for i, task in enumerate(missing):
+                self.ctx.run(task.workload, task.config, task.record_timelines)
+                self.executed += 1
+                if progress is not None:
+                    progress(i + 1, total)
+            return self.executed
+
+        ctx = self.ctx
+        workers = min(self.jobs, total)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {
+                pool.submit(_execute_task, task, ctx.scale): task
+                for task in missing
+            }
+            done_count = 0
+            while pending:
+                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = pending.pop(future)
+                    result = future.result()
+                    ctx.seed_cache(task.workload, task.config,
+                                   task.record_timelines, result)
+                    if ctx.disk_cache is not None:
+                        ctx.disk_cache.put(
+                            task.workload, ctx.scale.name,
+                            task.record_timelines, task.config, result,
+                        )
+                    self.executed += 1
+                    done_count += 1
+                    if progress is not None:
+                        progress(done_count, total)
+        return self.executed
+
+    def prewarm_experiments(
+        self, drivers: Iterable[Driver],
+        progress: Callable[[int, int], None] | None = None,
+    ) -> int:
+        """Capture the drivers' grid, then :meth:`prewarm` it."""
+        return self.prewarm(capture_plan(self.ctx, drivers), progress=progress)
+
+
+def make_context(
+    scale: WorkloadScale,
+    cache_dir: "str | os.PathLike | None" = None,
+    **kwargs,
+) -> ExperimentContext:
+    """An :class:`ExperimentContext`, optionally with a disk cache attached.
+
+    ``cache_dir=None`` disables persistence; any other value (including
+    ``""``, meaning "the default location") attaches a
+    :class:`~repro.harness.diskcache.ResultDiskCache`.
+    """
+    from repro.harness.diskcache import ResultDiskCache
+
+    disk = None
+    if cache_dir is not None:
+        disk = ResultDiskCache(cache_dir if str(cache_dir) else None)
+    return ExperimentContext(scale=scale, disk_cache=disk, **kwargs)
+
+
+__all__ = [
+    "JOBS_ENV",
+    "ParallelRunner",
+    "PlanningContext",
+    "RunTask",
+    "capture_plan",
+    "make_context",
+    "resolve_jobs",
+]

@@ -2,14 +2,22 @@
 
 Every figure reuses baselines (the single-GPU run, the locality-optimized
 4-socket run, the hypothetical big GPUs), so the runner memoizes
-RunResults by ``(workload, scale, config-key)`` within one
+RunResults by ``(workload, scale, config fingerprint)`` within one
 :class:`ExperimentContext`. A context also pins the scale and the scaled
 system size so every figure of one report is internally consistent.
+
+The memo key is *content-addressed*: :func:`repro.config.config_fingerprint`
+walks every field of the frozen config dataclass tree, so a config
+parameter can never be silently omitted from a run's identity (see
+DESIGN.md, "Result caching"). A context may also carry an optional
+on-disk cache (:class:`repro.harness.diskcache.ResultDiskCache`) so
+results survive across processes and repeated script invocations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.config import (
     CacheArch,
@@ -18,6 +26,7 @@ from repro.config import (
     PlacementPolicy,
     SystemConfig,
     WritePolicy,
+    config_fingerprint,
     hypothetical_config,
     scaled_config,
     single_gpu_config,
@@ -27,28 +36,8 @@ from repro.metrics.report import RunResult
 from repro.workloads.spec import SMALL, WorkloadScale
 from repro.workloads.suite import get_workload
 
-
-def _config_key(config: SystemConfig) -> tuple:
-    """Hashable identity of a config (dataclasses are nested-frozen)."""
-    return (
-        config.n_sockets,
-        config.gpu.sms,
-        config.gpu.ctas_per_sm,
-        config.gpu.dram_bandwidth,
-        config.gpu.l2.capacity_bytes,
-        config.link.lanes_per_direction,
-        config.link.lane_bandwidth,
-        config.placement,
-        config.cta_policy,
-        config.cache_arch,
-        config.link_policy,
-        config.l2_write_policy,
-        config.coherence_invalidations,
-        config.controllers.link_sample_time,
-        config.controllers.link_switch_time,
-        config.controllers.cache_sample_time,
-        config.kernel_launch_latency,
-    )
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.diskcache import ResultDiskCache
 
 
 @dataclass
@@ -59,6 +48,8 @@ class ExperimentContext:
     sms_per_socket: int = 4
     scale: WorkloadScale = SMALL
     record_timelines: bool = False
+    #: optional cross-process result cache (None = in-memory only).
+    disk_cache: "ResultDiskCache | None" = None
     _cache: dict[tuple, RunResult] = field(default_factory=dict)
 
     def base_config(self, n_sockets: int | None = None) -> SystemConfig:
@@ -135,21 +126,52 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
+    def cache_key(self, workload_name: str, config: SystemConfig,
+                  record_timelines: bool | None = None) -> tuple:
+        """The memoization key one run is stored under."""
+        record = (
+            self.record_timelines if record_timelines is None else record_timelines
+        )
+        return (workload_name, self.scale.name, record,
+                config_fingerprint(config))
+
+    def is_cached(self, key: tuple) -> bool:
+        """Whether a :meth:`cache_key` is already memoized in this context."""
+        return key in self._cache
+
+    def seed_cache(self, workload_name: str, config: SystemConfig,
+                   record_timelines: bool, result: RunResult) -> None:
+        """Insert an externally computed result (parallel-runner merge)."""
+        self._cache[
+            self.cache_key(workload_name, config, record_timelines)
+        ] = result
+
     def run(self, workload_name: str, config: SystemConfig,
             record_timelines: bool | None = None) -> RunResult:
         """Run (or fetch from cache) one workload under one config."""
         record = (
             self.record_timelines if record_timelines is None else record_timelines
         )
-        key = (workload_name, self.scale.name, record, _config_key(config))
+        key = self.cache_key(workload_name, config, record)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        if self.disk_cache is not None:
+            stored = self.disk_cache.get(
+                workload_name, self.scale.name, record, config
+            )
+            if stored is not None:
+                self._cache[key] = stored
+                return stored
         workload = get_workload(workload_name)
         result = run_workload_on(
             config, workload, self.scale, record_timelines=record
         )
         self._cache[key] = result
+        if self.disk_cache is not None:
+            self.disk_cache.put(
+                workload_name, self.scale.name, record, config, result
+            )
         return result
 
     def speedup(self, workload_name: str, config: SystemConfig,

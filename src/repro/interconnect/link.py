@@ -80,6 +80,12 @@ class DuplexLink:
         then pays the propagation latency (the full link latency unless the
         caller overrides it, as the switch does to split latency per hop).
         """
+        if self._lanes[direction] == 0:
+            raise InterconnectError(
+                f"link{self.socket_id}: no lanes assigned to "
+                f"{direction.value}; traffic cannot flow on an emptied "
+                "direction (min_lanes=0)"
+            )
         done = self._resources[direction].service(now, nbytes)
         self.stats.add(f"{direction.value}_bytes", nbytes)
         self.stats.add(f"{direction.value}_packets")
@@ -102,7 +108,9 @@ class DuplexLink:
         return self._lanes[Direction.EGRESS] + self._lanes[Direction.INGRESS]
 
     def bandwidth(self, direction: Direction) -> float:
-        """Current bytes/cycle for one direction."""
+        """Current bytes/cycle for one direction (0.0 when emptied)."""
+        if self._lanes[direction] == 0:
+            return 0.0
         return self._resources[direction].rate
 
     def turn_lane(self, toward: Direction, switch_time: int) -> None:
@@ -120,22 +128,29 @@ class DuplexLink:
             )
         self._lanes[donor] -= 1
         self._lanes[toward] += 1
-        self._resources[donor].set_rate(
-            max(self._lanes[donor], 1) * self.config.lane_bandwidth
-        )
+        if self._lanes[donor] > 0:
+            self._resources[donor].set_rate(
+                self._lanes[donor] * self.config.lane_bandwidth
+            )
+        # At 0 lanes (min_lanes=0) the donor direction carries no traffic:
+        # transfer() rejects it and bandwidth() reports 0.0. The underlying
+        # resource keeps its last positive rate only because a FIFO server
+        # cannot represent rate 0; it is unreachable until a lane returns.
         self.stats.add("lane_turns")
         self._pending_turns += 1
-        gained = self._lanes[toward]
-        self.engine.schedule(switch_time, self._commit_turn, toward, gained)
+        self.engine.schedule(switch_time, self._commit_turn, toward)
 
-    def _commit_turn(self, toward: Direction, lanes_at_commit: int) -> None:
+    def _commit_turn(self, toward: Direction) -> None:
         """Apply the gained lane's bandwidth after the quiesce window."""
         self._pending_turns -= 1
         # Rate follows the *current* lane count; if further turns happened
-        # during the quiesce they each scheduled their own commit.
-        self._resources[toward].set_rate(
-            self._lanes[toward] * self.config.lane_bandwidth
-        )
+        # during the quiesce they each scheduled their own commit. The
+        # direction may have been emptied again meanwhile (min_lanes=0) —
+        # then there is no rate to apply until a later turn restores it.
+        if self._lanes[toward] > 0:
+            self._resources[toward].set_rate(
+                self._lanes[toward] * self.config.lane_bandwidth
+            )
 
     def is_symmetric(self) -> bool:
         """True when both directions hold the same number of lanes."""

@@ -12,7 +12,8 @@ import json
 from pathlib import Path
 from typing import Iterable
 
-from repro.metrics.report import RunResult
+from repro.metrics.report import RunResult, SocketStats
+from repro.sim.stats import TimeSeries
 
 #: Column order for tabular exports (one row per run).
 RUN_COLUMNS = (
@@ -72,6 +73,65 @@ def write_json(results: Iterable[RunResult], path: str | Path) -> int:
     rows = [run_to_dict(r) for r in results]
     path.write_text(json.dumps(rows, indent=1))
     return len(rows)
+
+
+def result_to_json_dict(result: RunResult) -> dict:
+    """Lossless JSON form of a run (used by the on-disk result cache).
+
+    Unlike :func:`run_to_dict` (a flattened summary row), this preserves
+    every field of the :class:`RunResult` so
+    :func:`result_from_json_dict` reconstructs an equal object.
+    """
+    return {
+        "workload": result.workload,
+        "config_label": result.config_label,
+        "cycles": result.cycles,
+        "n_sockets": result.n_sockets,
+        "sockets": [vars(s).copy() for s in result.sockets],
+        "switch_bytes": result.switch_bytes,
+        "migrations": result.migrations,
+        "kernels": result.kernels,
+        "link_timelines": {
+            name: {"times": ts.times, "values": ts.values}
+            for name, ts in result.link_timelines.items()
+        },
+        "partition_timelines": {
+            name: {"times": ts.times, "values": ts.values}
+            for name, ts in result.partition_timelines.items()
+        },
+        "kernel_launch_times": result.kernel_launch_times,
+    }
+
+
+def result_from_json_dict(data: dict) -> RunResult:
+    """Inverse of :func:`result_to_json_dict`."""
+
+    def _series(name: str, payload: dict) -> TimeSeries:
+        return TimeSeries(
+            name=name,
+            times=[int(t) for t in payload["times"]],
+            values=[float(v) for v in payload["values"]],
+        )
+
+    return RunResult(
+        workload=data["workload"],
+        config_label=data["config_label"],
+        cycles=int(data["cycles"]),
+        n_sockets=int(data["n_sockets"]),
+        sockets=[SocketStats(**s) for s in data["sockets"]],
+        switch_bytes=int(data["switch_bytes"]),
+        migrations=int(data["migrations"]),
+        kernels=int(data["kernels"]),
+        link_timelines={
+            name: _series(name, payload)
+            for name, payload in data["link_timelines"].items()
+        },
+        partition_timelines={
+            name: _series(name, payload)
+            for name, payload in data["partition_timelines"].items()
+        },
+        kernel_launch_times=[int(t) for t in data["kernel_launch_times"]],
+    )
 
 
 def read_csv(path: str | Path) -> list[dict]:

@@ -84,6 +84,8 @@ class Engine:
         max_events:
             Safety valve for tests; raises ``SchedulingError`` when
             exceeded so a livelocked model fails loudly instead of hanging.
+            The budget applies to this ``run()`` invocation only — a
+            reused engine starts every run with a fresh count.
 
         Returns
         -------
@@ -91,6 +93,7 @@ class Engine:
             The simulation time when the run stopped.
         """
         self._running = True
+        events_this_run = 0
         try:
             while self._queue:
                 time, _seq, callback, args = self._queue[0]
@@ -101,7 +104,8 @@ class Engine:
                 self._now = time
                 callback(*args)
                 self._events_processed += 1
-                if max_events is not None and self._events_processed > max_events:
+                events_this_run += 1
+                if max_events is not None and events_this_run > max_events:
                     raise SchedulingError(
                         f"exceeded max_events={max_events}; "
                         "simulation appears livelocked"

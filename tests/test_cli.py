@@ -30,6 +30,20 @@ def test_experiment_command(capsys):
     assert "Figure 2" in out
 
 
+def test_experiment_command_accepts_jobs(capsys):
+    # figure2 is analytic (no simulations), so this exercises the
+    # parallel prewarm plumbing without any worker processes.
+    assert main(["experiment", "figure2", "--scale", "tiny",
+                 "--jobs", "2"]) == 0
+    assert "Figure 2" in capsys.readouterr().out
+
+
+def test_experiment_command_cache_dir(tmp_path, capsys):
+    assert main(["experiment", "table1", "--scale", "tiny",
+                 "--cache-dir", str(tmp_path)]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
 def test_trace_command(tmp_path, capsys):
     out_file = tmp_path / "sp.trace"
     code = main(["trace", "Lonestar-SP", str(out_file), "--scale", "tiny"])

@@ -106,6 +106,35 @@ def test_max_events_guards_against_livelock():
         eng.run(max_events=100)
 
 
+def test_max_events_budget_is_per_run_invocation():
+    # Regression: the budget used to compare against the *cumulative*
+    # event count, so a second run() on a reused engine raised spuriously.
+    eng = Engine()
+    for i in range(50):
+        eng.schedule(i, lambda: None)
+    eng.run(max_events=60)
+    assert eng.events_processed == 50
+    for i in range(50):
+        eng.schedule(i, lambda: None)
+    # 50 cumulative + 50 new: must NOT raise with a 60-event budget.
+    eng.run(max_events=60)
+    assert eng.events_processed == 100
+
+
+def test_max_events_still_guards_each_run():
+    eng = Engine()
+
+    def forever():
+        eng.schedule(1, forever)
+
+    eng.schedule(0, forever)
+    with pytest.raises(SchedulingError):
+        eng.run(max_events=10)
+    # The livelock guard applies to the next run too.
+    with pytest.raises(SchedulingError):
+        eng.run(max_events=10)
+
+
 def test_events_processed_counter():
     eng = Engine()
     for i in range(7):

@@ -58,6 +58,37 @@ def test_context_distinguishes_configs(ctx):
     assert ctx.cached_runs == 2
 
 
+def test_memo_key_distinguishes_noc_bandwidth(ctx):
+    """Regression: noc_bandwidth was omitted from the hand-picked key,
+    so a config differing only in NoC bandwidth aliased to the cached
+    result of another config (e.g. hypothetical_config scales it)."""
+    from dataclasses import replace
+
+    base = ctx.config_single_gpu()
+    choked = replace(
+        base, gpu=replace(base.gpu, noc_bandwidth=base.gpu.noc_bandwidth / 64)
+    )
+    a = ctx.run("Rodinia-Hotspot", base)
+    b = ctx.run("Rodinia-Hotspot", choked)
+    assert ctx.cached_runs == 2
+    assert a is not b
+    assert a.cycles != b.cycles  # a 64x slower NoC must change timing
+
+
+def test_memo_key_distinguishes_dram_latency(ctx):
+    from dataclasses import replace
+
+    base = ctx.config_single_gpu()
+    slow = replace(
+        base, gpu=replace(base.gpu, dram_latency=base.gpu.dram_latency * 20)
+    )
+    a = ctx.run("Lonestar-SP", base)
+    b = ctx.run("Lonestar-SP", slow)
+    assert ctx.cached_runs == 2
+    assert a is not b
+    assert a.cycles != b.cycles
+
+
 def test_canonical_configs(ctx):
     assert ctx.config_single_gpu().n_sockets == 1
     assert ctx.config_hypothetical(4).gpu.sms == 4 * ctx.sms_per_socket

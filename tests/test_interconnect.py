@@ -117,6 +117,63 @@ def test_reset_symmetric():
     assert link.bandwidth(Direction.INGRESS) == pytest.approx(64.0)
 
 
+def test_min_lanes_floor_rate_is_exact():
+    # At the min_lanes=1 floor the donor keeps exactly one lane's worth
+    # of bandwidth — no more, no less.
+    link, engine = make_link()
+    for _ in range(7):
+        link.turn_lane(Direction.EGRESS, switch_time=1)
+        engine.run()
+    assert link.lanes(Direction.INGRESS) == 1
+    assert link.bandwidth(Direction.INGRESS) == pytest.approx(8.0)
+
+
+def test_zero_min_lanes_empties_without_phantom_bandwidth():
+    # Regression: with min_lanes=0 the donor used to keep one lane's
+    # bandwidth (max(lanes, 1)) even when holding zero lanes.
+    link, engine = make_link(min_lanes=0)
+    for _ in range(8):
+        link.turn_lane(Direction.EGRESS, switch_time=1)
+        engine.run()
+    assert link.lanes(Direction.INGRESS) == 0
+    assert link.bandwidth(Direction.INGRESS) == 0.0
+    assert link.lanes(Direction.EGRESS) == 16
+    assert link.bandwidth(Direction.EGRESS) == pytest.approx(16 * 8.0)
+    # An emptied direction cannot carry traffic.
+    with pytest.raises(InterconnectError):
+        link.transfer(engine.now, Direction.INGRESS, 64)
+    # And the floor still raises once reached.
+    with pytest.raises(InterconnectError):
+        link.turn_lane(Direction.EGRESS, switch_time=1)
+
+
+def test_commit_after_direction_emptied_mid_quiesce():
+    # A direction can gain a lane (commit pending) and be emptied again
+    # before that commit fires; the commit must not apply a zero rate.
+    link, engine = make_link(min_lanes=0)
+    link.turn_lane(Direction.EGRESS, switch_time=100)
+    for _ in range(9):
+        link.turn_lane(Direction.INGRESS, switch_time=1)
+        engine.run(until=engine.now + 2)
+    assert link.lanes(Direction.EGRESS) == 0
+    engine.run()  # the outstanding egress commit fires harmlessly
+    assert link.bandwidth(Direction.EGRESS) == 0.0
+    assert link.total_lanes == 16
+
+
+def test_emptied_direction_recovers_on_turn_back():
+    link, engine = make_link(min_lanes=0)
+    for _ in range(8):
+        link.turn_lane(Direction.EGRESS, switch_time=1)
+    engine.run()
+    link.turn_lane(Direction.INGRESS, switch_time=1)
+    engine.run()
+    assert link.lanes(Direction.INGRESS) == 1
+    assert link.bandwidth(Direction.INGRESS) == pytest.approx(8.0)
+    # Traffic flows again.
+    assert link.transfer(engine.now, Direction.INGRESS, 8) > engine.now
+
+
 def test_lane_turn_counts_stat():
     link, engine = make_link()
     link.turn_lane(Direction.EGRESS, switch_time=1)
