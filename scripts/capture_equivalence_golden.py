@@ -1,0 +1,67 @@
+"""Capture golden RunResult JSONs for the hot-path equivalence harness.
+
+The hot-path rewrite (slotted counters, translation cache, victim-scan
+loops, engine fast path) must be a pure optimization: every ``RunResult``
+it produces has to be bit-identical to the pre-rewrite simulator. This
+script freezes that contract. Run it on a *known-good* revision to record
+the goldens under ``tests/golden/hotpath/``; the paired test
+(``tests/test_equivalence_golden.py``) then re-simulates every case and
+compares the canonical JSON byte-for-byte.
+
+The case matrix and canonical JSON form live in
+:mod:`repro.harness.equivalence` so the test, this script, and CI all
+agree on them.
+
+Usage::
+
+    PYTHONPATH=src python scripts/capture_equivalence_golden.py [--check]
+
+``--check`` recomputes every case and diffs against the stored goldens
+without rewriting them (exit code 1 on any mismatch) — the same check the
+test performs, usable standalone in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.harness.equivalence import canonical_result_json, equivalence_cases
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden" / "hotpath"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against stored goldens instead of rewriting them",
+    )
+    args = parser.parse_args(argv)
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    failures: list[str] = []
+    for case in equivalence_cases():
+        text = canonical_result_json(case)
+        path = GOLDEN_DIR / f"{case.name}.json"
+        if args.check:
+            if not path.exists():
+                failures.append(f"{case.name}: golden missing")
+            elif path.read_text() != text:
+                failures.append(f"{case.name}: RunResult JSON drifted")
+            else:
+                print(f"ok       {case.name}")
+        else:
+            path.write_text(text)
+            print(f"recorded {case.name}")
+    if failures:
+        for failure in failures:
+            print(f"MISMATCH {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

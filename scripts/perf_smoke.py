@@ -1,0 +1,86 @@
+"""Perf smoke: assert simulator throughput stays above a recorded floor.
+
+Runs a small fixed simulation mix (no profiler, disk cache bypassed by
+construction — fresh in-memory context) and compares the measured engine
+throughput against the ``events_per_second_floor`` recorded in
+``BENCH_hotpath.json`` at the repo root. The floor is deliberately set
+far below the development machine's measured rate so ordinary CI-runner
+variance passes while a hot-path regression of the kind this PR removed
+(string-keyed stat dicts, per-access translate calls, enum-keyed victim
+scans) fails loudly.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_smoke.py            # assert floor
+    PYTHONPATH=src python scripts/perf_smoke.py --report   # print only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.config import CacheArch
+from repro.core.builder import run_workload_on
+from repro.harness.runner import ExperimentContext
+from repro.sim.instrumentation import SIM_TALLY
+from repro.workloads.spec import SCALES
+from repro.workloads.suite import get_workload
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: The fixed probe mix: three behaviour profiles x the two extreme cache
+#: organizations, tiny scale. Small enough for CI, large enough that
+#: per-run constant costs do not dominate the events/sec figure.
+PROBE_WORKLOADS = ("Rodinia-BFS", "Rodinia-Hotspot", "ML-AlexNet-cudnn-Lev2")
+PROBE_ARCHES = (CacheArch.MEM_SIDE, CacheArch.NUMA_AWARE)
+
+
+def measure() -> dict:
+    """Run the probe mix and return the tally snapshot."""
+    ctx = ExperimentContext(scale=SCALES["tiny"])
+    SIM_TALLY.reset()
+    for name in PROBE_WORKLOADS:
+        workload = get_workload(name)
+        for arch in PROBE_ARCHES:
+            run_workload_on(ctx.config_cache(arch), workload, SCALES["tiny"])
+    return SIM_TALLY.snapshot()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print the measurement without asserting the floor",
+    )
+    args = parser.parse_args(argv)
+
+    tally = measure()
+    print(f"perf smoke: {json.dumps(tally)}")
+    if args.report:
+        return 0
+    if not BENCH_PATH.exists():
+        print(f"no {BENCH_PATH.name} found; nothing to assert", file=sys.stderr)
+        return 1
+    recorded = json.loads(BENCH_PATH.read_text())
+    floor = recorded.get("events_per_second_floor")
+    if not floor:
+        print(f"{BENCH_PATH.name} has no events_per_second_floor", file=sys.stderr)
+        return 1
+    rate = tally["events_per_second"]
+    if rate < floor:
+        print(
+            f"FAIL: {rate:.0f} events/s is below the recorded floor "
+            f"{floor:.0f} — the per-access hot path has regressed",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: {rate:.0f} events/s >= floor {floor:.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

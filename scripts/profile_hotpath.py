@@ -1,0 +1,94 @@
+"""cProfile driver for the per-access simulation hot path.
+
+Profiles one or more (workload, cache-arch) simulations at a chosen scale
+and prints the top functions by internal time, so a hot-path regression
+shows up as a shifted profile rather than a vague slowdown. This is the
+tool that drove the PR 2 hot-path overhaul (see DESIGN.md, "Hot-path
+architecture").
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py
+    PYTHONPATH=src python scripts/profile_hotpath.py \
+        --workload Rodinia-BFS --arch numa_aware --scale tiny \
+        --sort cumulative --top 40 --out /tmp/hotpath.prof
+
+``--out`` additionally dumps the raw profile for ``snakeviz``/``pstats``.
+A wall-clock and events/sec summary (profiler overhead included) is
+printed last; for clean throughput numbers use ``scripts/perf_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import time
+
+from repro.config import CacheArch
+from repro.core.builder import run_workload_on
+from repro.harness.runner import ExperimentContext
+from repro.sim.instrumentation import SIM_TALLY
+from repro.workloads.spec import SCALES
+from repro.workloads.suite import STUDY_SET, get_workload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workload",
+        action="append",
+        help="workload name (repeatable; default: a 3-workload mix)",
+    )
+    parser.add_argument(
+        "--arch",
+        choices=[a.value for a in CacheArch] + ["all"],
+        default="numa_aware",
+        help="L2 organization to simulate (default: numa_aware)",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument(
+        "--sort",
+        default="tottime",
+        help="pstats sort key (tottime, cumulative, ncalls, ...)",
+    )
+    parser.add_argument("--top", type=int, default=30, help="rows to print")
+    parser.add_argument("--out", help="dump raw .prof stats to this path")
+    args = parser.parse_args(argv)
+
+    workloads = args.workload or [STUDY_SET[3], STUDY_SET[6], STUDY_SET[0]]
+    arches = (
+        list(CacheArch) if args.arch == "all" else [CacheArch(args.arch)]
+    )
+    scale = SCALES[args.scale]
+    ctx = ExperimentContext(scale=scale)
+
+    # Warm imports and the workload registry outside the profile window.
+    for name in workloads:
+        get_workload(name)
+
+    SIM_TALLY.reset()
+    profiler = cProfile.Profile()
+    wall_start = time.perf_counter()
+    profiler.enable()
+    for name in workloads:
+        for arch in arches:
+            run_workload_on(ctx.config_cache(arch), get_workload(name), scale)
+    profiler.disable()
+    wall = time.perf_counter() - wall_start
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"raw profile -> {args.out}")
+    tally = SIM_TALLY.snapshot()
+    print(
+        f"{tally['runs']} runs, {tally['events']} events in {wall:.2f}s "
+        f"wall ({tally['events_per_second']:.0f} events/s under profiler)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,16 @@
 :class:`NumaGpuSystem`; :func:`run_workload_on` runs one workload spec on
 it at a chosen scale. The experiment harness composes these the same way
 user code does.
+
+Trace reuse: synthetic CTA traces are pure functions of ``(workload,
+scale, cta_index)`` — they do not depend on the system configuration —
+but every experiment figure runs the *same* workload under many configs,
+regenerating identical traces each time. :func:`run_workload_on` therefore
+memoizes the most recent workload's materialized CTA slices (a
+single-entry cache: one workload+scale resident at a time, so memory
+stays bounded at one trace set). Slices and their ops are frozen
+dataclasses and every consumer treats the slice lists as read-only, so
+sharing them across runs cannot change results.
 """
 
 from __future__ import annotations
@@ -15,8 +25,10 @@ from repro.config import (
     scaled_config,
     single_gpu_config,
 )
+from repro.gpu.cta import Slice
 from repro.gpu.system import NumaGpuSystem
 from repro.metrics.report import RunResult
+from repro.runtime.kernel import KernelWork
 from repro.workloads.spec import SMALL, WorkloadScale, WorkloadSpec
 
 
@@ -29,6 +41,39 @@ def build_system(
     return NumaGpuSystem(config, record_timelines=record_timelines)
 
 
+# Most-recent (workload, scale) kernel list with memoizing CTA builders.
+# The key holds a strong reference to the workload spec, so the id() in
+# the comparison tuple can never be recycled while the entry is live.
+_last_traces: tuple[tuple, list[KernelWork]] | None = None
+
+
+def _memoizing_kernels(workload: WorkloadSpec, scale: WorkloadScale) -> list[KernelWork]:
+    """Build (or reuse) the kernel list with per-CTA slice memoization."""
+    global _last_traces
+    key = (workload, id(workload), scale.name, scale.cta_cap,
+           scale.footprint_lines, scale.ops_scale)
+    if _last_traces is not None and _last_traces[0] == key:
+        return _last_traces[1]
+    kernels = [_memoized_work(work) for work in workload.build_kernels(scale)]
+    _last_traces = (key, kernels)
+    return kernels
+
+
+def _memoized_work(work: KernelWork) -> KernelWork:
+    """Wrap one kernel's CTA builder so each CTA's slices build once."""
+    built: dict[int, list[Slice]] = {}
+    builder = work.build_cta
+
+    def build(cta_index: int) -> list[Slice]:
+        slices = built.get(cta_index)
+        if slices is None:
+            slices = builder(cta_index)
+            built[cta_index] = slices
+        return slices
+
+    return KernelWork(work.name, work.n_ctas, build)
+
+
 def run_workload_on(
     config: SystemConfig,
     workload: WorkloadSpec,
@@ -38,10 +83,12 @@ def run_workload_on(
     """Build a fresh system, run one workload, return its RunResult.
 
     Every run uses a fresh system: caches, page tables, and link state
-    never leak between experiments.
+    never leak between experiments. CTA traces are config-independent and
+    read-only, so they are shared across consecutive runs of the same
+    workload+scale (see module docstring).
     """
     system = build_system(config, record_timelines=record_timelines)
-    kernels = workload.build_kernels(scale)
+    kernels = _memoizing_kernels(workload, scale)
     return system.run(kernels, workload_name=workload.name)
 
 

@@ -99,7 +99,7 @@ class CachePartitionController:
 
     def _estimate_incoming_utilization(self, now: int) -> float:
         """Step 1: projected ingress utilization from outgoing read rate."""
-        remote_reads = self.socket.stats["remote_read_requests"]
+        remote_reads = self.socket.n_remote_read_requests
         delta = remote_reads - self._last_remote_reads
         self._last_remote_reads = remote_reads
         expected_bytes = delta * DATA_BYTES

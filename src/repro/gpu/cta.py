@@ -21,7 +21,7 @@ from typing import Callable, Protocol
 from repro.sim.engine import Engine
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemOp:
     """One coalesced per-warp memory operation."""
 
@@ -29,7 +29,7 @@ class MemOp:
     is_write: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Slice:
     """A unit of CTA progress: compute overlapped with a memory burst."""
 
@@ -38,7 +38,14 @@ class Slice:
 
 
 class MemoryPort(Protocol):
-    """What a CTA needs from its socket: an access entry point."""
+    """What a CTA needs from its socket: an access entry point.
+
+    Ports may additionally provide ``access_burst(sm_index, ops, start,
+    limit, on_done) -> (next_index, async_started)`` — the fused form
+    :class:`CtaExecution` prefers when present (see
+    :meth:`repro.gpu.socket.GpuSocket.access_burst`). ``access`` alone is
+    sufficient for simple ports (tests, custom models).
+    """
 
     def access(
         self, sm_index: int, addr: int, is_write: bool, on_done: Callable[[], None]
@@ -55,11 +62,13 @@ class CtaExecution:
         "sm_index",
         "engine",
         "port",
+        "_burst",
         "mlp",
         "on_complete",
         "_slices",
         "_slice_idx",
         "_ops",
+        "_n_ops",
         "_op_idx",
         "_outstanding",
         "_compute_pending",
@@ -80,11 +89,13 @@ class CtaExecution:
         self.sm_index = sm_index
         self.engine = engine
         self.port = port
+        self._burst = getattr(port, "access_burst", None)
         self.mlp = max(1, mlp)
         self.on_complete = on_complete
         self._slices = slices
         self._slice_idx = -1
         self._ops: tuple[MemOp, ...] = ()
+        self._n_ops = 0
         self._op_idx = 0
         self._outstanding = 0
         self._compute_pending = False
@@ -105,6 +116,7 @@ class CtaExecution:
             return
         current = self._slices[self._slice_idx]
         self._ops = current.ops
+        self._n_ops = len(current.ops)
         self._op_idx = 0
         self._outstanding = 0
         self._compute_pending = True
@@ -112,18 +124,54 @@ class CtaExecution:
         self._issue_ops()
 
     def _issue_ops(self) -> None:
-        while self._op_idx < len(self._ops) and self._outstanding < self.mlp:
-            op = self._ops[self._op_idx]
-            self._op_idx += 1
-            sync = self.port.access(self.sm_index, op.addr, op.is_write, self._op_done)
-            if not sync:
-                self._outstanding += 1
+        # Fused issue path: the whole burst of consecutive L1 hits (plus
+        # any misses/writes it starts) runs in one port call with the
+        # socket's state in locals — no per-op call or callback
+        # round-trips. Safe because the port never invokes on_done
+        # synchronously — an async op's completion always goes through the
+        # event queue, so _op_idx/_outstanding cannot be mutated
+        # reentrantly mid-burst.
+        i = self._op_idx
+        outstanding = self._outstanding
+        n_ops = self._n_ops
+        if i >= n_ops or outstanding >= self.mlp:
+            return
+        burst = self._burst
+        if burst is not None:
+            i, n_async = burst(
+                self.sm_index, self._ops, i, self.mlp - outstanding, self._op_done
+            )
+            self._op_idx = i
+            self._outstanding = outstanding + n_async
+            return
+        # access()-only port (simple test doubles): per-op loop.
+        ops = self._ops
+        mlp = self.mlp
+        access = self.port.access
+        sm_index = self.sm_index
+        op_done = self._op_done
+        while i < n_ops and outstanding < mlp:
+            op = ops[i]
+            i += 1
+            if not access(sm_index, op.addr, op.is_write, op_done):
+                outstanding += 1
+        self._op_idx = i
+        self._outstanding = outstanding
 
     def _op_done(self) -> None:
+        # _maybe_finish_slice is inlined here (this runs once per async
+        # memory op); the re-reads after _issue_ops are deliberate — it
+        # mutates _op_idx and _outstanding.
         self._outstanding -= 1
-        if self._op_idx < len(self._ops):
+        if self._op_idx < self._n_ops:
             self._issue_ops()
-        self._maybe_finish_slice()
+        if (
+            not self._compute_pending
+            and self._outstanding == 0
+            and self._op_idx >= self._n_ops
+            and not self._done
+        ):
+            self._advance()
 
     def _compute_done(self) -> None:
         self._compute_pending = False

@@ -17,6 +17,14 @@ Reads coalesce through a socket-level MSHR table (one in-flight fetch per
 line; later missers piggyback), writes are write-through at L1 and either
 forwarded to the home socket or absorbed dirty into a GPU-side write-back
 L2 depending on the organization.
+
+Hot-path notes (DESIGN.md, "Hot-path architecture"): :meth:`GpuSocket.access`
+runs once per coalesced memory operation — millions of times per run — so
+it consults a per-socket ``line -> (home, is_local)`` translation cache
+(registered with the page table, which invalidates it on page re-homing)
+instead of calling ``PageTable.translate`` per access, and counts
+statistics in slotted integer attributes flattened into ``stats`` only
+when that property is read.
 """
 
 from __future__ import annotations
@@ -24,8 +32,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
-from repro.config import CacheArch, SystemConfig, WritePolicy
-from repro.gpu.cta import CtaExecution, Slice
+from repro.config import CacheArch, PlacementPolicy, SystemConfig, WritePolicy
+from repro.gpu.cta import CtaExecution, MemOp as _SingleOp, Slice
 from repro.gpu.sm import Sm
 from repro.interconnect.packets import DATA_BYTES, PacketKind
 from repro.interconnect.switch import Switch
@@ -35,13 +43,84 @@ from repro.memory.dram import DramChannel
 from repro.memory.page_table import PageTable
 from repro.sim.engine import Engine
 from repro.sim.resource import BandwidthResource
-from repro.sim.stats import StatGroup
+from repro.sim.stats import StatGroup, flatten_slots
 
 OnDone = Callable[[], None]
 
 
 class GpuSocket:
     """One GPU socket and its slice of the NUMA memory system."""
+
+    __slots__ = (
+        "socket_id",
+        "config",
+        "engine",
+        "page_table",
+        "switch",
+        "line_size",
+        "arch",
+        "write_policy",
+        "sms",
+        "_l1s",
+        "l2",
+        "dram",
+        "noc",
+        "noc_latency",
+        "coherence",
+        "_l2_hit_latency",
+        "_l2_holds_remote",
+        "_caches_remote_writes",
+        "_always_local",
+        "_sched",
+        "_sched_at",
+        "_dram_access",
+        "_l2_lookup",
+        "_l2_fill",
+        "_l1_refills",
+        "_stats",
+        "_pending_reads",
+        "_xlate",
+        "_cta_queue",
+        "_active_ctas",
+        "_subkernel_done_cb",
+        "_subkernel_notified",
+        "n_local_accesses",
+        "n_remote_accesses",
+        "n_l1_hits",
+        "n_l1_misses",
+        "n_reads_coalesced",
+        "n_l2_hits",
+        "n_l2_misses",
+        "n_remote_read_requests",
+        "n_remote_reads_served",
+        "n_l2_hits_for_remote",
+        "n_writes",
+        "n_remote_writes_forwarded",
+        "n_remote_writes_absorbed",
+        "n_remote_writebacks",
+        "n_flush_remote_writebacks",
+        "n_ctas_completed",
+    )
+
+    #: slotted counter -> public stats key (see repro.sim.stats).
+    _STAT_FIELDS = (
+        ("n_local_accesses", "local_accesses"),
+        ("n_remote_accesses", "remote_accesses"),
+        ("n_l1_hits", "l1_hits"),
+        ("n_l1_misses", "l1_misses"),
+        ("n_reads_coalesced", "reads_coalesced"),
+        ("n_l2_hits", "l2_hits"),
+        ("n_l2_misses", "l2_misses"),
+        ("n_remote_read_requests", "remote_read_requests"),
+        ("n_remote_reads_served", "remote_reads_served"),
+        ("n_l2_hits_for_remote", "l2_hits_for_remote"),
+        ("n_writes", "writes"),
+        ("n_remote_writes_forwarded", "remote_writes_forwarded"),
+        ("n_remote_writes_absorbed", "remote_writes_absorbed"),
+        ("n_remote_writebacks", "remote_writebacks"),
+        ("n_flush_remote_writebacks", "flush_remote_writebacks"),
+        ("n_ctas_completed", "ctas_completed"),
+    )
 
     def __init__(
         self,
@@ -61,6 +140,7 @@ class GpuSocket:
         self.arch = config.cache_arch
         self.write_policy = config.l2_write_policy
         self.sms = [Sm(socket_id, i, gpu, self.arch) for i in range(gpu.sms)]
+        self._l1s = tuple(sm.l1 for sm in self.sms)
         self.l2 = self._build_l2()
         self.dram = DramChannel(socket_id, gpu.dram_bandwidth, gpu.dram_latency)
         self.noc = BandwidthResource(f"noc{socket_id}", gpu.noc_bandwidth)
@@ -72,9 +152,54 @@ class GpuSocket:
             self.l2,
             invalidations_enabled=config.coherence_invalidations,
         )
-        self.stats = StatGroup(f"socket{socket_id}")
+        # Per-access invariants hoisted out of the hot handlers.
+        self._l2_hit_latency = gpu.l2.hit_latency
+        self._l2_holds_remote = self.arch is not CacheArch.MEM_SIDE
+        self._caches_remote_writes = (
+            self.arch in (CacheArch.SHARED_COHERENT, CacheArch.NUMA_AWARE)
+            and self.write_policy is WritePolicy.WRITE_BACK
+        )
+        # A single-socket system homes everything locally with zero
+        # migration charge, so translation can be skipped wholesale —
+        # except under FIRST_TOUCH, where the placement never claims pages
+        # on a 1-socket system and therefore bills the first-touch copy on
+        # every access; that combination must keep using translate().
+        self._always_local = (
+            config.n_sockets == 1
+            and page_table.placement.policy is not PlacementPolicy.FIRST_TOUCH
+        )
+        # Pre-bound methods for the per-event handlers (one attribute
+        # chain saved per call, millions of calls per run). All of these
+        # targets are fixed for the socket's lifetime.
+        self._sched = engine.schedule
+        self._sched_at = engine.schedule_at
+        self._dram_access = self.dram.access
+        self._l2_lookup = self.l2.lookup
+        self._l2_fill = self.l2.fill
+        self._l1_refills = tuple(l1.refill for l1 in self._l1s)
+        self._stats = StatGroup(f"socket{socket_id}")
+        self.n_local_accesses = 0
+        self.n_remote_accesses = 0
+        self.n_l1_hits = 0
+        self.n_l1_misses = 0
+        self.n_reads_coalesced = 0
+        self.n_l2_hits = 0
+        self.n_l2_misses = 0
+        self.n_remote_read_requests = 0
+        self.n_remote_reads_served = 0
+        self.n_l2_hits_for_remote = 0
+        self.n_writes = 0
+        self.n_remote_writes_forwarded = 0
+        self.n_remote_writes_absorbed = 0
+        self.n_remote_writebacks = 0
+        self.n_flush_remote_writebacks = 0
+        self.n_ctas_completed = 0
         # Socket-level read MSHRs: line -> list of (sm_index, callback).
         self._pending_reads: dict[int, list[tuple[int, OnDone]]] = {}
+        # line -> (home, is_local) translation cache; the page table drops
+        # entries when a page is re-homed (see PageTable.invalidate_page).
+        self._xlate: dict[int, tuple[int, bool]] = {}
+        page_table.register_line_cache(self._xlate)
         # Sub-kernel execution state.
         self._cta_queue: deque[tuple[int, list[Slice]]] = deque()
         self._active_ctas = 0
@@ -90,6 +215,14 @@ class GpuSocket:
                 name, gpu.l2, local_ways=gpu.l2.ways - half, remote_ways=half
             )
         return SetAssocCache(name, gpu.l2)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StatGroup:
+        """Counter view; slotted ints are flattened on every read."""
+        return flatten_slots(self, self._STAT_FIELDS, self._stats)
 
     # ------------------------------------------------------------------
     # CTA dispatch (sub-kernel execution)
@@ -129,7 +262,7 @@ class GpuSocket:
         sm = self.sms[execution.sm_index]
         sm.release()
         self._active_ctas -= 1
-        self.stats.add("ctas_completed")
+        self.n_ctas_completed += 1
         if self._cta_queue:
             self._dispatch(sm)
         self._check_subkernel_done()
@@ -150,61 +283,180 @@ class GpuSocket:
     def access(
         self, sm_index: int, addr: int, is_write: bool, on_done: OnDone
     ) -> bool:
-        """Issue one coalesced access; True = completed synchronously."""
-        home, migration_extra = self.page_table.translate(addr, self.socket_id)
-        line = addr // self.line_size
-        numa_class = NumaClass.LOCAL if home == self.socket_id else NumaClass.REMOTE
-        sm = self.sms[sm_index]
-        if numa_class is NumaClass.REMOTE:
-            self.stats.add("remote_accesses")
-        else:
-            self.stats.add("local_accesses")
-        if is_write:
-            # Write-through, no-write-allocate L1: update a present copy
-            # (kept clean) and always forward the write downstream.
-            sm.l1.lookup(line, write=True)
-            self._start_write(line, home, numa_class, migration_extra, on_done)
-            return False
-        if sm.l1.lookup(line):
-            self.stats.add("l1_hits")
-            return True
-        self.stats.add("l1_misses")
-        waiters = self._pending_reads.get(line)
-        if waiters is not None:
-            waiters.append((sm_index, on_done))
-            self.stats.add("reads_coalesced")
-            return False
-        self._pending_reads[line] = [(sm_index, on_done)]
-        start = self.noc.service(self.engine.now, DATA_BYTES)
-        self.engine.schedule_at(
-            start + self.noc_latency + migration_extra,
-            self._read_at_l2,
-            line,
-            home,
-            numa_class,
+        """Issue one coalesced access; True = completed synchronously.
+
+        Single-op convenience wrapper over :meth:`access_burst` (the CTA
+        issue loop uses the burst form directly).
+        """
+        _i, n_async = self.access_burst(
+            sm_index, (_SingleOp(addr, is_write),), 0, 1, on_done
         )
-        return False
+        return n_async == 0
+
+    def access_burst(
+        self,
+        sm_index: int,
+        ops: tuple,
+        start: int,
+        limit: int,
+        on_done: OnDone,
+    ) -> tuple[int, int]:
+        """Issue ``ops[start:]`` until ``limit`` go asynchronous.
+
+        The fused per-CTA issue path: one call drains a whole run of
+        consecutive L1 hits (and starts every miss/write in between) with
+        the socket's hot state bound to locals, instead of paying one
+        Python call per coalesced op. Returns ``(next_op_index,
+        async_ops_started)``. Semantically identical to calling
+        :meth:`access` per op: each op performs, in order, translation
+        (cache-assisted), access-class accounting, and the L1
+        probe/downstream handoff. Hit counters are applied once at the
+        end of the burst — no event or callback can observe them
+        mid-burst, because the burst runs inside a single engine event.
+        """
+        l1 = self._l1s[sm_index]
+        l1_where = l1._where
+        always_local = self._always_local
+        xlate = self._xlate
+        socket_id = self.socket_id
+        line_size = self.line_size
+        pending = self._pending_reads
+        n_ops = len(ops)
+        i = start
+        n_async = 0
+        n_local = 0
+        n_remote = 0
+        n_hits = 0
+        while i < n_ops and n_async < limit:
+            op = ops[i]
+            i += 1
+            addr = op.addr
+            line = addr // line_size
+            if always_local:
+                home = socket_id
+                is_local = True
+                migration_extra = 0
+            else:
+                cached = xlate.get(line)
+                if cached is not None:
+                    home, is_local = cached
+                    migration_extra = 0
+                else:
+                    home, migration_extra = self.page_table.translate(
+                        addr, socket_id
+                    )
+                    is_local = home == socket_id
+                    if (
+                        migration_extra == 0
+                        or not self.page_table.placement.is_first_touch(addr)
+                    ):
+                        # Cache only once the page's charge is settled; see
+                        # the FIRST_TOUCH single-socket caveat in __init__.
+                        xlate[line] = (home, is_local)
+            if is_local:
+                n_local += 1
+            else:
+                n_remote += 1
+            if op.is_write:
+                # Write-through, no-write-allocate L1: update a present
+                # copy (kept clean) and always forward the write
+                # downstream. Inlined l1.lookup(line, write=True) — the
+                # L1 is always write-through, so no dirty bit is set —
+                # and _start_write (NoC serialize + hand to _write_at_l2).
+                l1._tick += 1
+                way = l1_where.get(line)
+                if way is not None:
+                    way.last_use = l1._tick
+                    l1.n_write_hits += 1
+                else:
+                    l1.n_write_misses += 1
+                self.n_writes += 1
+                noc = self.noc
+                next_free = noc._next_free
+                now = self.engine.now
+                duration = DATA_BYTES / noc._rate
+                next_free = (now if now > next_free else next_free) + duration
+                noc._next_free = next_free
+                noc._busy_granted += duration
+                noc._bytes_total += DATA_BYTES
+                noc._transfers += 1
+                whole = int(next_free)
+                begin = whole if whole == next_free else whole + 1
+                self._sched_at(
+                    begin + self.noc_latency + migration_extra,
+                    self._write_at_l2,
+                    line,
+                    home,
+                    is_local,
+                    on_done,
+                )
+                n_async += 1
+                continue
+            # Inlined l1.lookup(line) — the single hottest statement of
+            # the simulator. Must mirror SetAssocCache.lookup's read path
+            # exactly (tick advance, LRU touch, hit/miss counters).
+            l1._tick += 1
+            way = l1_where.get(line)
+            if way is not None:
+                way.last_use = l1._tick
+                n_hits += 1
+                continue
+            l1.n_read_misses += 1
+            self.n_l1_misses += 1
+            n_async += 1
+            waiters = pending.get(line)
+            if waiters is not None:
+                waiters.append((sm_index, on_done))
+                self.n_reads_coalesced += 1
+                continue
+            pending[line] = [(sm_index, on_done)]
+            # Inlined BandwidthResource.service for the NoC hop (one call
+            # per outstanding read): identical arithmetic, fixed positive
+            # transfer size.
+            noc = self.noc
+            next_free = noc._next_free
+            now = self.engine.now
+            duration = DATA_BYTES / noc._rate
+            next_free = (now if now > next_free else next_free) + duration
+            noc._next_free = next_free
+            noc._busy_granted += duration
+            noc._bytes_total += DATA_BYTES
+            noc._transfers += 1
+            whole = int(next_free)
+            begin = whole if whole == next_free else whole + 1
+            self._sched_at(
+                begin + self.noc_latency + migration_extra,
+                self._read_at_l2,
+                line,
+                home,
+                NumaClass.LOCAL if is_local else NumaClass.REMOTE,
+            )
+        self.n_local_accesses += n_local
+        self.n_remote_accesses += n_remote
+        l1.n_read_hits += n_hits
+        self.n_l1_hits += n_hits
+        return i, n_async
 
     # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
     def _read_at_l2(self, line: int, home: int, numa_class: NumaClass) -> None:
-        l2_can_hold = numa_class is NumaClass.LOCAL or self.arch is not CacheArch.MEM_SIDE
-        if l2_can_hold and self.l2.lookup(line):
-            self.stats.add("l2_hits")
-            self.engine.schedule(
-                self.config.gpu.l2.hit_latency + self.noc_latency,
+        l2_can_hold = numa_class is NumaClass.LOCAL or self._l2_holds_remote
+        if l2_can_hold and self._l2_lookup(line):
+            self.n_l2_hits += 1
+            self._sched(
+                self._l2_hit_latency + self.noc_latency,
                 self._complete_read,
                 line,
                 numa_class,
             )
             return
-        self.stats.add("l2_misses")
+        self.n_l2_misses += 1
         if numa_class is NumaClass.LOCAL:
-            done = self.dram.access(self.engine.now, self.line_size)
-            self.engine.schedule_at(done, self._local_fill, line)
+            done = self._dram_access(self.engine.now, self.line_size)
+            self._sched_at(done, self._local_fill, line)
         else:
-            self.stats.add("remote_read_requests")
+            self.n_remote_read_requests += 1
             assert self.switch is not None
             arrival = self.switch.send(
                 self.engine.now, self.socket_id, home, PacketKind.READ_REQUEST
@@ -216,17 +468,18 @@ class GpuSocket:
 
     def _local_fill(self, line: int) -> None:
         """DRAM returned a local line: fill L2 and complete waiters."""
-        evicted = self.l2.fill(line, NumaClass.LOCAL)
-        self._handle_l2_eviction(evicted)
-        self.engine.schedule(self.noc_latency, self._complete_read, line, NumaClass.LOCAL)
+        evicted = self._l2_fill(line, NumaClass.LOCAL)
+        if evicted is not None:
+            self._handle_l2_eviction(evicted)
+        self._sched(self.noc_latency, self._complete_read, line, NumaClass.LOCAL)
 
     def _serve_remote_read(self, line: int, requester: int) -> None:
         """Home-side service of a remote read (memory side of this socket)."""
-        self.stats.add("remote_reads_served")
+        self.n_remote_reads_served += 1
         if self.l2.lookup(line):
-            self.stats.add("l2_hits_for_remote")
+            self.n_l2_hits_for_remote += 1
             self.engine.schedule(
-                self.config.gpu.l2.hit_latency, self._respond_remote_read, line, requester
+                self._l2_hit_latency, self._respond_remote_read, line, requester
             )
             return
         done = self.dram.access(self.engine.now, self.line_size)
@@ -247,7 +500,7 @@ class GpuSocket:
 
     def _remote_read_response(self, line: int) -> None:
         """A remote line arrived back at this (requesting) socket."""
-        if self.arch is not CacheArch.MEM_SIDE:
+        if self._l2_holds_remote:
             evicted = self.l2.fill(line, NumaClass.REMOTE)
             self._handle_l2_eviction(evicted)
         self._complete_read(line, NumaClass.REMOTE)
@@ -257,64 +510,50 @@ class GpuSocket:
         waiters = self._pending_reads.pop(line, None)
         if not waiters:
             return
+        if len(waiters) == 1:
+            # Un-coalesced read (the common case): no dedup set needed.
+            sm_index, on_done = waiters[0]
+            self._l1_refills[sm_index](line, numa_class)
+            on_done()
+            return
         filled_sms: set[int] = set()
+        refills = self._l1_refills
         for sm_index, on_done in waiters:
             if sm_index not in filled_sms:
-                self.sms[sm_index].l1.fill(line, numa_class)
+                refills[sm_index](line, numa_class)
                 filled_sms.add(sm_index)
             on_done()
 
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
-    def _start_write(
-        self,
-        line: int,
-        home: int,
-        numa_class: NumaClass,
-        migration_extra: int,
-        on_done: OnDone,
-    ) -> None:
-        self.stats.add("writes")
-        start = self.noc.service(self.engine.now, DATA_BYTES)
-        self.engine.schedule_at(
-            start + self.noc_latency + migration_extra,
-            self._write_at_l2,
-            line,
-            home,
-            numa_class,
-            on_done,
-        )
-
     def _write_at_l2(
-        self, line: int, home: int, numa_class: NumaClass, on_done: OnDone
+        self, line: int, home: int, is_local: bool, on_done: OnDone
     ) -> None:
-        l2_lat = self.config.gpu.l2.hit_latency
-        if numa_class is NumaClass.LOCAL:
+        l2_lat = self._l2_hit_latency
+        if is_local:
             # Home L2 absorbs the write (write-back, allocate-on-write;
             # stores are assumed full-line coalesced so no fetch happens).
-            if not self.l2.lookup(line, write=True):
-                evicted = self.l2.fill(line, NumaClass.LOCAL, dirty=True)
-                self._handle_l2_eviction(evicted)
+            if not self._l2_lookup(line, write=True):
+                evicted = self._l2_fill(line, NumaClass.LOCAL, dirty=True)
+                if evicted is not None:
+                    self._handle_l2_eviction(evicted)
             if self.write_policy is WritePolicy.WRITE_THROUGH:
-                self.dram.access(self.engine.now, self.line_size, write=True)
-            self.engine.schedule(l2_lat, on_done)
+                self._dram_access(self.engine.now, self.line_size, write=True)
+            self._sched(l2_lat, on_done)
             return
-        caches_remote_writes = (
-            self.arch in (CacheArch.SHARED_COHERENT, CacheArch.NUMA_AWARE)
-            and self.write_policy is WritePolicy.WRITE_BACK
-        )
-        if caches_remote_writes:
-            if not self.l2.lookup(line, write=True):
-                evicted = self.l2.fill(line, NumaClass.REMOTE, dirty=True)
-                self._handle_l2_eviction(evicted)
-            self.engine.schedule(l2_lat, on_done)
+        if self._caches_remote_writes:
+            if not self._l2_lookup(line, write=True):
+                evicted = self._l2_fill(line, NumaClass.REMOTE, dirty=True)
+                if evicted is not None:
+                    self._handle_l2_eviction(evicted)
+            self._sched(l2_lat, on_done)
             return
         # Forward the write to its home socket; drop any stale local copy
         # (write-invalidate keeps the R$ / write-through L2 coherent).
-        if self.arch is not CacheArch.MEM_SIDE:
+        if self._l2_holds_remote:
             self.l2.drop(line)
-        self.stats.add("remote_writes_forwarded")
+        self.n_remote_writes_forwarded += 1
         assert self.switch is not None
         arrival = self.switch.send(
             self.engine.now, self.socket_id, home, PacketKind.WRITE_DATA
@@ -326,7 +565,7 @@ class GpuSocket:
 
     def _absorb_remote_write(self, line: int, requester: int, on_done: OnDone) -> None:
         """Home-side absorption of a forwarded write, then ack."""
-        self.stats.add("remote_writes_absorbed")
+        self.n_remote_writes_absorbed += 1
         if not self.l2.lookup(line, write=True):
             evicted = self.l2.fill(line, NumaClass.LOCAL, dirty=True)
             self._handle_l2_eviction(evicted)
@@ -349,17 +588,29 @@ class GpuSocket:
             self.dram.access(self.engine.now, self.line_size, write=True)
             return
         # Remote dirty victim: write back across the link to its home.
-        addr = evicted.line * self.line_size
-        home, _extra = self.page_table.translate(addr, self.socket_id)
+        home = self._line_home(evicted.line)
         if home == self.socket_id or self.switch is None:
             self.dram.access(self.engine.now, self.line_size, write=True)
             return
-        self.stats.add("remote_writebacks")
+        self.n_remote_writebacks += 1
         arrival = self.switch.send(
             self.engine.now, self.socket_id, home, PacketKind.WRITEBACK_DATA
         )
         home_socket = self.switch.links[home].owner
         self.engine.schedule_at(arrival, home_socket._absorb_writeback, evicted.line)
+
+    def _line_home(self, line: int) -> int:
+        """Home socket of a cache line (translation-cache assisted)."""
+        if self._always_local:
+            return self.socket_id
+        cached = self._xlate.get(line)
+        if cached is not None:
+            return cached[0]
+        addr = line * self.line_size
+        home, extra = self.page_table.translate(addr, self.socket_id)
+        if extra == 0 or not self.page_table.placement.is_first_touch(addr):
+            self._xlate[line] = (home, home == self.socket_id)
+        return home
 
     def _absorb_writeback(self, line: int) -> None:
         """Sink a remote write-back into home memory (fire-and-forget)."""
@@ -379,11 +630,9 @@ class GpuSocket:
         for _ in range(result.local_dirty_lines):
             self.dram.access(now, self.line_size, write=True)
         if result.remote_lines and self.switch is not None:
-            self.stats.add("flush_remote_writebacks", len(result.remote_lines))
+            self.n_flush_remote_writebacks += len(result.remote_lines)
             for line in result.remote_lines:
-                home, _extra = self.page_table.translate(
-                    line * self.line_size, self.socket_id
-                )
+                home = self._line_home(line)
                 if home == self.socket_id:
                     self.dram.access(now, self.line_size, write=True)
                     continue
@@ -402,14 +651,14 @@ class GpuSocket:
     # ------------------------------------------------------------------
     def l1_hit_rate(self) -> float:
         """Aggregate L1 hit rate across this socket's SMs."""
-        hits = sum(sm.l1.stats["read_hits"] for sm in self.sms)
-        misses = sum(sm.l1.stats["read_misses"] for sm in self.sms)
+        hits = sum(sm.l1.n_read_hits for sm in self.sms)
+        misses = sum(sm.l1.n_read_misses for sm in self.sms)
         total = hits + misses
         return hits / total if total else 0.0
 
     @property
     def remote_fraction(self) -> float:
         """Fraction of accesses that targeted remote memory."""
-        remote = self.stats["remote_accesses"]
-        total = remote + self.stats["local_accesses"]
+        remote = self.n_remote_accesses
+        total = remote + self.n_local_accesses
         return remote / total if total else 0.0

@@ -14,6 +14,11 @@ Modelling choices (documented in DESIGN.md):
 * On a turn, the losing direction's rate drops immediately; the gaining
   direction receives the lane only after ``switch_time`` cycles (the
   quiesce + resynchronization window).
+
+Hot-path notes: :meth:`DuplexLink.transfer` runs twice per switch packet,
+so per-direction state lives in plain attributes selected by an ``is``
+check on the direction (no enum-keyed dict hashing) and byte/packet
+counters are slotted ints flattened into ``stats`` on read.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from repro.config import LinkConfig
 from repro.errors import InterconnectError
 from repro.sim.engine import Engine
 from repro.sim.resource import BandwidthResource, UtilizationWindow
-from repro.sim.stats import StatGroup
+from repro.sim.stats import StatGroup, flatten_slots
 
 
 class Direction(enum.Enum):
@@ -42,6 +47,37 @@ class Direction(enum.Enum):
 class DuplexLink:
     """One socket's link to the switch, with dynamic lane assignment."""
 
+    __slots__ = (
+        "socket_id",
+        "config",
+        "engine",
+        "latency",
+        "owner",
+        "_lanes_egress",
+        "_lanes_ingress",
+        "_res_egress",
+        "_res_ingress",
+        "windows",
+        "_stats",
+        "_pending_turns",
+        "n_egress_bytes",
+        "n_ingress_bytes",
+        "n_egress_packets",
+        "n_ingress_packets",
+        "n_lane_turns",
+        "n_symmetric_resets",
+    )
+
+    #: slotted counter -> public stats key (see repro.sim.stats).
+    _STAT_FIELDS = (
+        ("n_egress_bytes", "egress_bytes"),
+        ("n_ingress_bytes", "ingress_bytes"),
+        ("n_egress_packets", "egress_packets"),
+        ("n_ingress_packets", "ingress_packets"),
+        ("n_lane_turns", "lane_turns"),
+        ("n_symmetric_resets", "symmetric_resets"),
+    )
+
     def __init__(self, socket_id: int, config: LinkConfig, engine: Engine) -> None:
         self.socket_id = socket_id
         self.config = config
@@ -50,23 +86,31 @@ class DuplexLink:
         #: back-reference to the owning GpuSocket, wired by the system
         #: builder; used by peers to deliver packets.
         self.owner = None
-        self._lanes = {
-            Direction.EGRESS: config.lanes_per_direction,
-            Direction.INGRESS: config.lanes_per_direction,
-        }
-        self._resources = {
-            direction: BandwidthResource(
-                f"link{socket_id}.{direction.value}",
-                config.lanes_per_direction * config.lane_bandwidth,
-            )
-            for direction in Direction
-        }
+        self._lanes_egress = config.lanes_per_direction
+        self._lanes_ingress = config.lanes_per_direction
+        rate = config.lanes_per_direction * config.lane_bandwidth
+        self._res_egress = BandwidthResource(f"link{socket_id}.egress", rate)
+        self._res_ingress = BandwidthResource(f"link{socket_id}.ingress", rate)
         self.windows = {
-            direction: UtilizationWindow(self._resources[direction])
-            for direction in Direction
+            Direction.EGRESS: UtilizationWindow(self._res_egress),
+            Direction.INGRESS: UtilizationWindow(self._res_ingress),
         }
-        self.stats = StatGroup(f"link{socket_id}")
+        self._stats = StatGroup(f"link{socket_id}")
         self._pending_turns = 0
+        self.n_egress_bytes = 0
+        self.n_ingress_bytes = 0
+        self.n_egress_packets = 0
+        self.n_ingress_packets = 0
+        self.n_lane_turns = 0
+        self.n_symmetric_resets = 0
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StatGroup:
+        """Counter view; slotted ints are flattened on every read."""
+        return flatten_slots(self, self._STAT_FIELDS, self._stats)
 
     # ------------------------------------------------------------------
     # traffic
@@ -80,38 +124,71 @@ class DuplexLink:
         then pays the propagation latency (the full link latency unless the
         caller overrides it, as the switch does to split latency per hop).
         """
-        if self._lanes[direction] == 0:
-            raise InterconnectError(
-                f"link{self.socket_id}: no lanes assigned to "
-                f"{direction.value}; traffic cannot flow on an emptied "
-                "direction (min_lanes=0)"
-            )
-        done = self._resources[direction].service(now, nbytes)
-        self.stats.add(f"{direction.value}_bytes", nbytes)
-        self.stats.add(f"{direction.value}_packets")
+        if direction is Direction.EGRESS:
+            if self._lanes_egress == 0:
+                self._raise_emptied(direction)
+            res = self._res_egress
+            self.n_egress_bytes += nbytes
+            self.n_egress_packets += 1
+        else:
+            if self._lanes_ingress == 0:
+                self._raise_emptied(direction)
+            res = self._res_ingress
+            self.n_ingress_bytes += nbytes
+            self.n_ingress_packets += 1
+        # Inlined BandwidthResource.service (two transfers per switch
+        # packet): identical arithmetic; packet sizes are fixed positive
+        # constants so the negative-size guard is not needed here.
+        next_free = res._next_free
+        start = now if now > next_free else next_free
+        duration = nbytes / res._rate
+        next_free = start + duration
+        res._next_free = next_free
+        res._busy_granted += duration
+        res._bytes_total += nbytes
+        res._transfers += 1
+        whole = int(next_free)
+        done = whole if whole == next_free else whole + 1
         return done + (self.latency if latency is None else latency)
+
+    def _raise_emptied(self, direction: Direction) -> None:
+        raise InterconnectError(
+            f"link{self.socket_id}: no lanes assigned to "
+            f"{direction.value}; traffic cannot flow on an emptied "
+            "direction (min_lanes=0)"
+        )
 
     def resource(self, direction: Direction) -> BandwidthResource:
         """The bandwidth server for one direction (controllers watch it)."""
-        return self._resources[direction]
+        return (
+            self._res_egress if direction is Direction.EGRESS else self._res_ingress
+        )
 
     # ------------------------------------------------------------------
     # lane management
     # ------------------------------------------------------------------
     def lanes(self, direction: Direction) -> int:
         """Lanes currently assigned to ``direction`` (committed turns only)."""
-        return self._lanes[direction]
+        return (
+            self._lanes_egress if direction is Direction.EGRESS else self._lanes_ingress
+        )
+
+    def _set_lanes(self, direction: Direction, count: int) -> None:
+        if direction is Direction.EGRESS:
+            self._lanes_egress = count
+        else:
+            self._lanes_ingress = count
 
     @property
     def total_lanes(self) -> int:
         """Physical lanes on the link; conserved across all turns."""
-        return self._lanes[Direction.EGRESS] + self._lanes[Direction.INGRESS]
+        return self._lanes_egress + self._lanes_ingress
 
     def bandwidth(self, direction: Direction) -> float:
         """Current bytes/cycle for one direction (0.0 when emptied)."""
-        if self._lanes[direction] == 0:
+        if self.lanes(direction) == 0:
             return 0.0
-        return self._resources[direction].rate
+        return self.resource(direction).rate
 
     def turn_lane(self, toward: Direction, switch_time: int) -> None:
         """Reverse one lane so it serves ``toward``.
@@ -121,22 +198,22 @@ class DuplexLink:
         :class:`InterconnectError` when the donor is at the minimum.
         """
         donor = toward.other
-        if self._lanes[donor] <= self.config.min_lanes:
+        donor_lanes = self.lanes(donor)
+        if donor_lanes <= self.config.min_lanes:
             raise InterconnectError(
                 f"link{self.socket_id}: cannot drop {donor.value} below "
                 f"{self.config.min_lanes} lane(s)"
             )
-        self._lanes[donor] -= 1
-        self._lanes[toward] += 1
-        if self._lanes[donor] > 0:
-            self._resources[donor].set_rate(
-                self._lanes[donor] * self.config.lane_bandwidth
-            )
+        donor_lanes -= 1
+        self._set_lanes(donor, donor_lanes)
+        self._set_lanes(toward, self.lanes(toward) + 1)
+        if donor_lanes > 0:
+            self.resource(donor).set_rate(donor_lanes * self.config.lane_bandwidth)
         # At 0 lanes (min_lanes=0) the donor direction carries no traffic:
         # transfer() rejects it and bandwidth() reports 0.0. The underlying
         # resource keeps its last positive rate only because a FIFO server
         # cannot represent rate 0; it is unreachable until a lane returns.
-        self.stats.add("lane_turns")
+        self.n_lane_turns += 1
         self._pending_turns += 1
         self.engine.schedule(switch_time, self._commit_turn, toward)
 
@@ -147,18 +224,17 @@ class DuplexLink:
         # during the quiesce they each scheduled their own commit. The
         # direction may have been emptied again meanwhile (min_lanes=0) —
         # then there is no rate to apply until a later turn restores it.
-        if self._lanes[toward] > 0:
-            self._resources[toward].set_rate(
-                self._lanes[toward] * self.config.lane_bandwidth
-            )
+        lanes = self.lanes(toward)
+        if lanes > 0:
+            self.resource(toward).set_rate(lanes * self.config.lane_bandwidth)
 
     def is_symmetric(self) -> bool:
         """True when both directions hold the same number of lanes."""
-        return self._lanes[Direction.EGRESS] == self._lanes[Direction.INGRESS]
+        return self._lanes_egress == self._lanes_ingress
 
     def asymmetry(self) -> int:
         """Egress lanes minus ingress lanes (signed)."""
-        return self._lanes[Direction.EGRESS] - self._lanes[Direction.INGRESS]
+        return self._lanes_egress - self._lanes_ingress
 
     def reset_symmetric(self) -> None:
         """Snap back to the symmetric design point (kernel-launch reset).
@@ -167,7 +243,9 @@ class DuplexLink:
         Outstanding quiesce windows are subsumed: rates are set directly.
         """
         half = self.total_lanes // 2
-        for direction in Direction:
-            self._lanes[direction] = half
-            self._resources[direction].set_rate(half * self.config.lane_bandwidth)
-        self.stats.add("symmetric_resets")
+        rate = half * self.config.lane_bandwidth
+        self._lanes_egress = half
+        self._lanes_ingress = half
+        self._res_egress.set_rate(rate)
+        self._res_ingress.set_rate(rate)
+        self.n_symmetric_resets += 1

@@ -14,18 +14,33 @@ from repro.errors import InterconnectError
 from repro.interconnect.link import Direction, DuplexLink
 from repro.interconnect.packets import PacketKind, packet_bytes
 from repro.sim.engine import Engine
-from repro.sim.stats import StatGroup
+from repro.sim.stats import StatGroup, flatten_slots
 
 
 class Switch:
     """Non-blocking crossbar over per-socket duplex links."""
+
+    __slots__ = ("engine", "links", "_stats", "n_packets", "n_bytes")
+
+    #: slotted counter -> public stats key (see repro.sim.stats).
+    _STAT_FIELDS = (
+        ("n_packets", "packets"),
+        ("n_bytes", "bytes"),
+    )
 
     def __init__(self, n_sockets: int, config: LinkConfig, engine: Engine) -> None:
         if n_sockets < 2:
             raise InterconnectError("a switch needs at least two sockets")
         self.engine = engine
         self.links = [DuplexLink(s, config, engine) for s in range(n_sockets)]
-        self.stats = StatGroup("switch")
+        self._stats = StatGroup("switch")
+        self.n_packets = 0
+        self.n_bytes = 0
+
+    @property
+    def stats(self) -> StatGroup:
+        """Counter view; slotted ints are flattened on every read."""
+        return flatten_slots(self, self._STAT_FIELDS, self._stats)
 
     def send(self, now: int, src: int, dst: int, kind: PacketKind) -> int:
         """Route one packet; returns its arrival cycle at ``dst``.
@@ -36,15 +51,17 @@ class Switch:
         if src == dst:
             raise InterconnectError(f"switch asked to route {src} -> {dst}")
         nbytes = packet_bytes(kind)
-        half_latency = self.links[src].latency // 2
-        at_switch = self.links[src].transfer(
+        links = self.links
+        src_link = links[src]
+        half_latency = src_link.latency // 2
+        at_switch = src_link.transfer(
             now, Direction.EGRESS, nbytes, latency=half_latency
         )
-        arrival = self.links[dst].transfer(
+        arrival = links[dst].transfer(
             at_switch, Direction.INGRESS, nbytes, latency=half_latency
         )
-        self.stats.add("packets")
-        self.stats.add("bytes", nbytes)
+        self.n_packets += 1
+        self.n_bytes += nbytes
         return arrival
 
     def link(self, socket_id: int) -> DuplexLink:
@@ -54,4 +71,4 @@ class Switch:
     @property
     def total_bytes(self) -> int:
         """Bytes moved through the switch (counted once per packet)."""
-        return self.stats["bytes"]
+        return self.n_bytes

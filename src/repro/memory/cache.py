@@ -2,7 +2,7 @@
 
 One cache class serves every configuration in Figure 7:
 
-* an unpartitioned LRU cache (quotas = all ways for both classes),
+* an unpartitioned LRU cache (the default: ``local_ways=None``),
 * a statically partitioned cache (fixed local/remote way quotas — the
   "Static R$" organization (b)),
 * the dynamically partitioned NUMA-aware cache (d), whose quotas are moved
@@ -17,16 +17,27 @@ DRAM, REMOTE = backed by another socket's DRAM) and a dirty bit. The cache
 is purely functional — latency and bandwidth are charged by the socket
 model — but it reports evictions and invalidation casualties so write-back
 traffic can be charged by the caller.
+
+Hot-path notes (see DESIGN.md, "Hot-path architecture"): lookups and
+fills run millions of times per simulation, so internally the class tag
+is a plain int (``NumaClass.value``), quotas live in an int-indexed list
+rather than an enum-keyed dict, victim selection is an explicit
+single-pass loop instead of list comprehensions + ``min(key=lambda)``,
+set indexing uses a precomputed mask when the set count is a power of
+two, and statistics are slotted integer counters flattened into the
+``stats`` :class:`~repro.sim.stats.StatGroup` only when it is read.
 """
 
 from __future__ import annotations
 
 import enum
+
 from dataclasses import dataclass
+from operator import attrgetter
 
 from repro.config import CacheConfig
 from repro.errors import CacheError
-from repro.sim.stats import StatGroup
+from repro.sim.stats import StatGroup, flatten_slots
 
 
 class NumaClass(enum.Enum):
@@ -41,7 +52,11 @@ class NumaClass(enum.Enum):
         return NumaClass.REMOTE if self is NumaClass.LOCAL else NumaClass.LOCAL
 
 
-@dataclass
+#: Enum instances indexed by their int value (hot-path int -> enum).
+_CLASS_BY_VALUE = (NumaClass.LOCAL, NumaClass.REMOTE)
+
+
+@dataclass(slots=True)
 class EvictedLine:
     """What fell out of the cache on a fill or invalidation."""
 
@@ -51,15 +66,24 @@ class EvictedLine:
 
 
 class _Way:
-    """One line frame: tag + metadata (plain attributes for speed)."""
+    """One line frame: tag + metadata (plain attributes for speed).
 
-    __slots__ = ("line", "numa_class", "dirty", "last_use")
+    ``cls`` holds the int value of the line's :class:`NumaClass` so the
+    victim scan compares ints instead of hashing enum members.
+    """
+
+    __slots__ = ("line", "cls", "dirty", "last_use")
 
     def __init__(self) -> None:
         self.line: int | None = None
-        self.numa_class = NumaClass.LOCAL
+        self.cls = 0  # NumaClass.LOCAL.value
         self.dirty = False
         self.last_use = 0
+
+
+#: C-level key for LRU scans; ``min`` returns the *first* way with the
+#: minimal last_use, matching the explicit loops' first-wins tie-break.
+_LAST_USE = attrgetter("last_use")
 
 
 class SetAssocCache:
@@ -72,11 +96,58 @@ class SetAssocCache:
     config:
         Geometry (sets derived from capacity / ways / line size).
     local_ways / remote_ways:
-        Initial per-set quotas. They must sum to ``config.ways``. An
-        unpartitioned cache passes ``local_ways=ways, remote_ways=ways``
-        — quotas only bind when their sum equals the associativity;
-        see :meth:`set_quotas`.
+        Initial per-set quotas for a *partitioned* cache; they must sum
+        to ``config.ways`` and leave each class at least one way (see
+        :meth:`set_quotas`). An unpartitioned cache leaves
+        ``local_ways=None`` (the default): victim selection is then plain
+        global LRU and :meth:`quota` reports the full associativity for
+        both classes.
     """
+
+    __slots__ = (
+        "name",
+        "config",
+        "write_through",
+        "n_sets",
+        "n_ways",
+        "line_size",
+        "_sets",
+        "_where",
+        "_set_mask",
+        "_set_valid",
+        "_set_local",
+        "_set_remote",
+        "_tick",
+        "_stats",
+        "partitioned",
+        "_quota",
+        "n_read_hits",
+        "n_read_misses",
+        "n_write_hits",
+        "n_write_misses",
+        "n_fills",
+        "n_evictions",
+        "n_dirty_evictions",
+        "n_drops",
+        "n_invalidations",
+        "n_lines_invalidated",
+        "n_repartitions",
+    )
+
+    #: slotted counter -> public stats key (see repro.sim.stats).
+    _STAT_FIELDS = (
+        ("n_read_hits", "read_hits"),
+        ("n_read_misses", "read_misses"),
+        ("n_write_hits", "write_hits"),
+        ("n_write_misses", "write_misses"),
+        ("n_fills", "fills"),
+        ("n_evictions", "evictions"),
+        ("n_dirty_evictions", "dirty_evictions"),
+        ("n_drops", "drops"),
+        ("n_invalidations", "invalidations"),
+        ("n_lines_invalidated", "lines_invalidated"),
+        ("n_repartitions", "repartitions"),
+    )
 
     def __init__(
         self,
@@ -94,19 +165,51 @@ class SetAssocCache:
         self.n_sets = config.n_sets
         self.n_ways = config.ways
         self.line_size = config.line_size
-        self._sets: list[list[_Way]] = [
-            [_Way() for _ in range(self.n_ways)] for _ in range(self.n_sets)
-        ]
+        # Way frames are allocated lazily, one set at a time on first
+        # fill: constructing every frame up front cost more than short
+        # runs ever touched (a fresh system is built per simulation).
+        self._sets: list[list[_Way] | None] = [None] * self.n_sets
         self._where: dict[int, _Way] = {}
+        # line -> set index is `line % n_sets`; a power-of-two set count
+        # (every Table 1 geometry) reduces that to a bit mask.
+        self._set_mask = (
+            self.n_sets - 1 if self.n_sets & (self.n_sets - 1) == 0 else None
+        )
+        # Valid frames per set: a full set (the steady state) skips the
+        # invalid-frame scan and finds its LRU victim with a C-level min.
+        # The per-class split (local/remote) gives the partitioned victim
+        # scan its occupancy test without a counting pass over the set.
+        self._set_valid = [0] * self.n_sets
+        self._set_local = [0] * self.n_sets
+        self._set_remote = [0] * self.n_sets
         self._tick = 0
-        self.stats = StatGroup(name)
+        self._stats = StatGroup(name)
+        self.n_read_hits = 0
+        self.n_read_misses = 0
+        self.n_write_hits = 0
+        self.n_write_misses = 0
+        self.n_fills = 0
+        self.n_evictions = 0
+        self.n_dirty_evictions = 0
+        self.n_drops = 0
+        self.n_invalidations = 0
+        self.n_lines_invalidated = 0
+        self.n_repartitions = 0
         self.partitioned = local_ways is not None
         if local_ways is None:
-            self._quota = {NumaClass.LOCAL: self.n_ways, NumaClass.REMOTE: self.n_ways}
+            self._quota = [self.n_ways, self.n_ways]
         else:
             if remote_ways is None:
                 remote_ways = self.n_ways - local_ways
             self.set_quotas(local_ways, remote_ways)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StatGroup:
+        """Counter view; slotted ints are flattened on every read."""
+        return flatten_slots(self, self._STAT_FIELDS, self._stats)
 
     # ------------------------------------------------------------------
     # quotas
@@ -122,13 +225,17 @@ class SetAssocCache:
                 f"{self.name}: each class needs at least one way "
                 f"(got local={local_ways}, remote={remote_ways})"
             )
+        if not self.partitioned:
+            # Class-occupancy counters are not maintained while running
+            # unpartitioned; bring them up to date before they matter.
+            self._rebuild_class_counts()
         self.partitioned = True
-        self._quota = {NumaClass.LOCAL: local_ways, NumaClass.REMOTE: remote_ways}
-        self.stats.add("repartitions")
+        self._quota = [local_ways, remote_ways]
+        self.n_repartitions += 1
 
     def quota(self, numa_class: NumaClass) -> int:
         """Current per-set way quota for a class."""
-        return self._quota[numa_class]
+        return self._quota[numa_class.value]
 
     # ------------------------------------------------------------------
     # access
@@ -143,15 +250,18 @@ class SetAssocCache:
         self._tick += 1
         way = self._where.get(line)
         if way is None:
-            self.stats.add("write_misses" if write else "read_misses")
+            if write:
+                self.n_write_misses += 1
+            else:
+                self.n_read_misses += 1
             return False
         way.last_use = self._tick
         if write:
             if not self.write_through:
                 way.dirty = True
-            self.stats.add("write_hits")
+            self.n_write_hits += 1
         else:
-            self.stats.add("read_hits")
+            self.n_read_hits += 1
         return True
 
     def contains(self, line: int) -> bool:
@@ -170,50 +280,168 @@ class SetAssocCache:
         implements lazy repartitioning.
         """
         self._tick += 1
-        existing = self._where.get(line)
+        where = self._where
+        existing = where.get(line)
         if existing is not None:
             existing.last_use = self._tick
             existing.dirty = existing.dirty or dirty
             return None
-        cache_set = self._sets[line % self.n_sets]
-        victim = self._choose_victim(cache_set, numa_class)
+        # `is` avoids the enum's DynamicClassAttribute descriptor on .value.
+        cls = 1 if numa_class is NumaClass.REMOTE else 0
+        mask = self._set_mask
+        set_idx = line & mask if mask is not None else line % self.n_sets
+        cache_set = self._sets[set_idx]
+        if cache_set is None:
+            cache_set = self._sets[set_idx] = [_Way() for _ in range(self.n_ways)]
+        victim = self._choose_victim(cache_set, set_idx, cls)
         evicted: EvictedLine | None = None
         if victim.line is not None:
-            del self._where[victim.line]
-            evicted = EvictedLine(victim.line, victim.numa_class, victim.dirty)
-            self.stats.add("evictions")
+            del where[victim.line]
+            evicted = EvictedLine(
+                victim.line, _CLASS_BY_VALUE[victim.cls], victim.dirty
+            )
+            self.n_evictions += 1
             if victim.dirty:
-                self.stats.add("dirty_evictions")
+                self.n_dirty_evictions += 1
+            if self.partitioned and victim.cls != cls:
+                self._retag_set_counts(set_idx, victim.cls, cls)
+        else:
+            self._set_valid[set_idx] += 1
+            if self.partitioned:
+                self._retag_set_counts(set_idx, None, cls)
         victim.line = line
-        victim.numa_class = numa_class
+        victim.cls = cls
         victim.dirty = dirty
         victim.last_use = self._tick
-        self._where[line] = victim
-        self.stats.add("fills")
+        where[line] = victim
+        self.n_fills += 1
         return evicted
 
-    def _choose_victim(self, cache_set: list[_Way], incoming: NumaClass) -> _Way:
-        """Pick the frame to replace for an incoming line of ``incoming``."""
+    def refill(self, line: int, numa_class: NumaClass) -> None:
+        """:meth:`fill` minus victim reporting, for clean refills.
+
+        The socket's read-return path refills write-through L1s whose
+        victims are never dirty and always discarded by the caller, so
+        constructing an :class:`EvictedLine` per refill is pure waste.
+        State mutations and counters are identical to
+        ``fill(line, numa_class)``.
+        """
+        self._tick += 1
+        where = self._where
+        existing = where.get(line)
+        if existing is not None:
+            existing.last_use = self._tick
+            return
+        cls = 1 if numa_class is NumaClass.REMOTE else 0
+        mask = self._set_mask
+        set_idx = line & mask if mask is not None else line % self.n_sets
+        cache_set = self._sets[set_idx]
+        if cache_set is None:
+            cache_set = self._sets[set_idx] = [_Way() for _ in range(self.n_ways)]
+        victim = self._choose_victim(cache_set, set_idx, cls)
+        if victim.line is not None:
+            del where[victim.line]
+            self.n_evictions += 1
+            if victim.dirty:
+                self.n_dirty_evictions += 1
+            if self.partitioned and victim.cls != cls:
+                self._retag_set_counts(set_idx, victim.cls, cls)
+        else:
+            self._set_valid[set_idx] += 1
+            if self.partitioned:
+                self._retag_set_counts(set_idx, None, cls)
+        victim.line = line
+        victim.cls = cls
+        victim.dirty = False
+        victim.last_use = self._tick
+        where[line] = victim
+        self.n_fills += 1
+
+    def _retag_set_counts(self, set_idx: int, old_cls: int | None, new_cls: int) -> None:
+        """Move one frame between the per-set class-occupancy counters."""
+        if old_cls is not None:
+            if old_cls:
+                self._set_remote[set_idx] -= 1
+            else:
+                self._set_local[set_idx] -= 1
+        if new_cls:
+            self._set_remote[set_idx] += 1
+        else:
+            self._set_local[set_idx] += 1
+
+    def _rebuild_class_counts(self) -> None:
+        """Recount per-set class occupancy from the frames.
+
+        Needed once when a cache constructed unpartitioned is partitioned
+        at runtime via :meth:`set_quotas` — until then the class counters
+        are not maintained on the (hotter) unpartitioned fill path.
+        """
+        local = [0] * self.n_sets
+        remote = [0] * self.n_sets
+        for set_idx, cache_set in enumerate(self._sets):
+            if cache_set is None:
+                continue
+            for way in cache_set:
+                if way.line is None:
+                    continue
+                if way.cls:
+                    remote[set_idx] += 1
+                else:
+                    local[set_idx] += 1
+        self._set_local = local
+        self._set_remote = remote
+
+    def _choose_victim(self, cache_set: list[_Way], set_idx: int, incoming: int) -> _Way:
+        """Pick the frame to replace for an incoming line of class ``incoming``.
+
+        The unpartitioned steady state (set full) is a pure LRU min over
+        the set, done at C speed; otherwise one explicit pass gathers
+        everything the decision needs (first invalid frame, per-class
+        occupancy, per-class and global LRU). Ties on ``last_use``
+        resolve to the first way in set order in both shapes.
+        """
         if not self.partitioned:
-            invalid = next((w for w in cache_set if w.line is None), None)
-            if invalid is not None:
-                return invalid
-            return min(cache_set, key=lambda w: w.last_use)
-        counts = {NumaClass.LOCAL: 0, NumaClass.REMOTE: 0}
-        for way in cache_set:
-            if way.line is not None:
-                counts[way.numa_class] += 1
-        if counts[incoming] >= self._quota[incoming]:
-            own = [w for w in cache_set if w.line is not None and w.numa_class is incoming]
-            return min(own, key=lambda w: w.last_use)
-        invalid = next((w for w in cache_set if w.line is None), None)
-        if invalid is not None:
-            return invalid
-        other = incoming.other
-        if counts[other] > self._quota[other]:
-            over = [w for w in cache_set if w.numa_class is other]
-            return min(over, key=lambda w: w.last_use)
-        return min(cache_set, key=lambda w: w.last_use)
+            if self._set_valid[set_idx] == self.n_ways:
+                return min(cache_set, key=_LAST_USE)
+            for way in cache_set:
+                if way.line is None:
+                    return way
+            return min(cache_set, key=_LAST_USE)  # pragma: no cover - guard
+        if incoming:
+            count_own = self._set_remote[set_idx]
+            count_other = self._set_local[set_idx]
+        else:
+            count_own = self._set_local[set_idx]
+            count_other = self._set_remote[set_idx]
+        if count_own >= self._quota[incoming]:
+            # LRU among valid ways of the incoming class.
+            best = None
+            best_use = None
+            for way in cache_set:
+                if way.cls == incoming and way.line is not None:
+                    use = way.last_use
+                    if best_use is None or use < best_use:
+                        best = way
+                        best_use = use
+            return best  # type: ignore[return-value]
+        if self._set_valid[set_idx] < self.n_ways:
+            for way in cache_set:
+                if way.line is None:
+                    return way
+        other = 1 - incoming
+        if count_other > self._quota[other]:
+            # The set is full here (no invalid frame was found above), so
+            # every way is valid and the class test alone suffices.
+            best = None
+            best_use = None
+            for way in cache_set:
+                if way.cls == other:
+                    use = way.last_use
+                    if best_use is None or use < best_use:
+                        best = way
+                        best_use = use
+            return best  # type: ignore[return-value]
+        return min(cache_set, key=_LAST_USE)
 
     # ------------------------------------------------------------------
     # invalidation / write-back
@@ -227,17 +455,24 @@ class SetAssocCache:
         dirty: list[EvictedLine] = []
         count = 0
         for cache_set in self._sets:
+            if cache_set is None:
+                continue
             for way in cache_set:
                 if way.line is None:
                     continue
                 count += 1
                 if way.dirty:
-                    dirty.append(EvictedLine(way.line, way.numa_class, True))
+                    dirty.append(
+                        EvictedLine(way.line, _CLASS_BY_VALUE[way.cls], True)
+                    )
                 way.line = None
                 way.dirty = False
         self._where.clear()
-        self.stats.add("invalidations")
-        self.stats.add("lines_invalidated", count)
+        self._set_valid = [0] * self.n_sets
+        self._set_local = [0] * self.n_sets
+        self._set_remote = [0] * self.n_sets
+        self.n_invalidations += 1
+        self.n_lines_invalidated += count
         return dirty
 
     def drop(self, line: int) -> bool:
@@ -252,25 +487,43 @@ class SetAssocCache:
             return False
         way.line = None
         way.dirty = False
-        self.stats.add("drops")
+        mask = self._set_mask
+        set_idx = line & mask if mask is not None else line % self.n_sets
+        self._set_valid[set_idx] -= 1
+        if self.partitioned:
+            if way.cls:
+                self._set_remote[set_idx] -= 1
+            else:
+                self._set_local[set_idx] -= 1
+        self.n_drops += 1
         return True
 
     def invalidate_class(self, numa_class: NumaClass) -> list[EvictedLine]:
         """Invalidate only lines of one NUMA class (Static R$ flushes)."""
+        cls = numa_class.value
         dirty: list[EvictedLine] = []
         count = 0
-        for cache_set in self._sets:
+        set_valid = self._set_valid
+        for set_idx, cache_set in enumerate(self._sets):
+            if cache_set is None:
+                continue
             for way in cache_set:
-                if way.line is None or way.numa_class is not numa_class:
+                if way.line is None or way.cls != cls:
                     continue
                 count += 1
                 if way.dirty:
-                    dirty.append(EvictedLine(way.line, way.numa_class, True))
+                    dirty.append(EvictedLine(way.line, numa_class, True))
                 del self._where[way.line]
                 way.line = None
                 way.dirty = False
-        self.stats.add("invalidations")
-        self.stats.add("lines_invalidated", count)
+                set_valid[set_idx] -= 1
+                if self.partitioned:
+                    if cls:
+                        self._set_remote[set_idx] -= 1
+                    else:
+                        self._set_local[set_idx] -= 1
+        self.n_invalidations += 1
+        self.n_lines_invalidated += count
         return dirty
 
     # ------------------------------------------------------------------
@@ -278,10 +531,10 @@ class SetAssocCache:
     # ------------------------------------------------------------------
     def occupancy(self) -> dict[NumaClass, int]:
         """Valid line count per class across the whole cache."""
-        counts = {NumaClass.LOCAL: 0, NumaClass.REMOTE: 0}
+        counts = [0, 0]
         for way in self._where.values():
-            counts[way.numa_class] += 1
-        return counts
+            counts[way.cls] += 1
+        return {NumaClass.LOCAL: counts[0], NumaClass.REMOTE: counts[1]}
 
     @property
     def valid_lines(self) -> int:
@@ -290,6 +543,6 @@ class SetAssocCache:
 
     def hit_rate(self) -> float:
         """Overall hit rate across reads and writes (0.0 when untouched)."""
-        hits = self.stats["read_hits"] + self.stats["write_hits"]
-        total = hits + self.stats["read_misses"] + self.stats["write_misses"]
+        hits = self.n_read_hits + self.n_write_hits
+        total = hits + self.n_read_misses + self.n_write_misses
         return hits / total if total else 0.0

@@ -4,22 +4,63 @@ The :class:`repro.memory.placement.Placement` policy decides *where* a page
 lives; this module adds the UVM mechanics around it — the one-time
 migration charge a first-touch access pays while the page is copied from
 system memory into the toucher's local DRAM (Section 3).
+
+Translation caching
+-------------------
+Every socket keeps a private ``line -> (home, is_local)`` dict (see
+:meth:`repro.gpu.socket.GpuSocket.access`) so the common steady-state
+access skips :meth:`translate` entirely — after the first touch of a page
+its home never moves on its own, and interleaved policies are pure
+functions of the address. Those dicts are registered here so that any
+operation that *does* re-home a page (today: a UVM prefetch pinning pages
+before a run; tomorrow: active migration policies) can call
+:meth:`invalidate_page` and atomically drop every stale cached line of
+that page across all sockets.
 """
 
 from __future__ import annotations
 
 from repro.config import SystemConfig
 from repro.memory.placement import Placement
-from repro.sim.stats import StatGroup
+from repro.sim.stats import StatGroup, flatten_slots
 
 
 class PageTable:
     """Resolves addresses to home sockets and prices first-touch faults."""
 
+    __slots__ = (
+        "placement",
+        "migration_latency",
+        "_stats",
+        "_line_caches",
+        "_lines_per_page",
+        "n_faults",
+        "n_translations",
+        "n_translation_invalidations",
+    )
+
+    #: slotted counter -> public stats key (see repro.sim.stats).
+    _STAT_FIELDS = (
+        ("n_faults", "faults"),
+        ("n_translations", "translations"),
+        ("n_translation_invalidations", "translation_invalidations"),
+    )
+
     def __init__(self, config: SystemConfig) -> None:
         self.placement = Placement(config)
         self.migration_latency = config.migration_latency
-        self.stats = StatGroup("page_table")
+        self._stats = StatGroup("page_table")
+        self.n_faults = 0
+        self.n_translations = 0
+        self.n_translation_invalidations = 0
+        #: line-granular translation caches registered by the sockets.
+        self._line_caches: list[dict[int, tuple[int, bool]]] = []
+        self._lines_per_page = max(1, config.page_size // config.gpu.l2.line_size)
+
+    @property
+    def stats(self) -> StatGroup:
+        """Counter view; slotted ints are flattened on every read."""
+        return flatten_slots(self, self._STAT_FIELDS, self._stats)
 
     def translate(self, addr: int, accessor: int) -> tuple[int, int]:
         """Return ``(home_socket, extra_latency)`` for one access.
@@ -31,10 +72,38 @@ class PageTable:
         extra = 0
         if self.placement.is_first_touch(addr):
             extra = self.migration_latency
-            self.stats.add("faults")
+            self.n_faults += 1
         home = self.placement.home_socket(addr, accessor)
-        self.stats.add("translations")
+        self.n_translations += 1
         return home, extra
+
+    # ------------------------------------------------------------------
+    # translation-cache registry
+    # ------------------------------------------------------------------
+    def register_line_cache(self, cache: dict[int, tuple[int, bool]]) -> None:
+        """Register one socket's ``line -> (home, is_local)`` cache.
+
+        The page table never fills these (sockets do, on their own access
+        paths); registration only lets :meth:`invalidate_page` find them.
+        """
+        self._line_caches.append(cache)
+
+    def invalidate_page(self, page: int) -> int:
+        """Drop every cached translation of ``page`` in every socket.
+
+        Must be called whenever a page's home changes after it may have
+        been translated (page migration / re-pinning). Returns the number
+        of cached line entries removed — useful for tests and migration
+        accounting.
+        """
+        first_line = page * self._lines_per_page
+        removed = 0
+        for cache in self._line_caches:
+            for line in range(first_line, first_line + self._lines_per_page):
+                if cache.pop(line, None) is not None:
+                    removed += 1
+        self.n_translation_invalidations += removed
+        return removed
 
     @property
     def migrations(self) -> int:

@@ -47,6 +47,10 @@ class UvmManager:
         for page in range(first, last + 1):
             if page not in placement._page_home:
                 placement._page_home[page] = socket
+                # Re-homing a page must drop any cached line translations
+                # (a no-op for never-touched pages, but it keeps the
+                # invariant that pinning and caching can never disagree).
+                self.page_table.invalidate_page(page)
                 pinned += 1
         self.stats.add("pages_prefetched", pinned)
         return pinned

@@ -1,13 +1,26 @@
 """Discrete-event simulation engine.
 
-The engine is a simple priority-queue scheduler over ``(time, sequence)``
-keys. Times are integer cycles (1 cycle = 1 ns at the paper's 1 GHz clock).
-The monotonically increasing sequence number makes event ordering fully
-deterministic even when many events share a timestamp, which in turn makes
-every simulation in this package bit-reproducible for a given seed.
+The engine is a deterministic scheduler over ``(time, arrival order)``
+keys. Times are integer cycles (1 cycle = 1 ns at the paper's 1 GHz
+clock). Events at the same timestamp run in the order they were
+scheduled, which makes every simulation in this package bit-reproducible
+for a given seed.
 
 Components never busy-wait: anything that costs time either schedules a
 callback or routes through a :class:`repro.sim.resource.BandwidthResource`.
+
+The dispatch loop is the single hottest frame of every simulation, so the
+queue is a *bucket queue* rather than one big binary heap: a dict maps
+each pending timestamp to a FIFO list of ``(callback, args)`` pairs, and
+a small heap orders only the distinct timestamps. Scheduling an event at
+an already-pending time is a dict probe plus a list append (no O(log n)
+sift), and draining a timestamp walks its bucket with no per-event heap
+traffic — the batched same-timestamp drain. The execution order is
+identical to the classic ``(time, seq)`` heap: ascending time, FIFO
+within a time, including events appended to the *current* timestamp
+mid-drain. :meth:`Engine.run` additionally splits into a fast path for
+the common unbounded call and a guarded loop for ``until``/``max_events``
+runs; both drain in the same order.
 """
 
 from __future__ import annotations
@@ -36,17 +49,18 @@ class Engine:
     5
     """
 
+    __slots__ = ("_buckets", "_times", "now", "_events_processed", "_running")
+
     def __init__(self) -> None:
-        self._queue: list[tuple[int, int, Callback, tuple[Any, ...]]] = []
-        self._now: int = 0
-        self._seq: int = 0
+        #: pending events: timestamp -> FIFO of (callback, args).
+        self._buckets: dict[int, list[tuple[Callback, tuple[Any, ...]]]] = {}
+        #: heap of the distinct timestamps present in ``_buckets``.
+        self._times: list[int] = []
+        #: current simulation time in cycles. Public for cheap reads on
+        #: hot paths; only the engine itself should ever write it.
+        self.now: int = 0
         self._events_processed: int = 0
         self._running: bool = False
-
-    @property
-    def now(self) -> int:
-        """Current simulation time in cycles."""
-        return self._now
 
     @property
     def events_processed(self) -> int:
@@ -56,22 +70,33 @@ class Engine:
     @property
     def pending_events(self) -> int:
         """Number of events waiting in the queue."""
-        return len(self._queue)
+        return sum(len(bucket) for bucket in self._buckets.values())
 
     def schedule(self, delay: int, callback: Callback, *args: Any) -> None:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SchedulingError(f"negative delay {delay} for {callback!r}")
-        self.schedule_at(self._now + int(delay), callback, *args)
+        time = self.now + int(delay)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(callback, args)]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append((callback, args))
 
     def schedule_at(self, time: int, callback: Callback, *args: Any) -> None:
         """Schedule ``callback(*args)`` at an absolute cycle ``time``."""
-        if time < self._now:
+        time = int(time)
+        if time < self.now:
             raise SchedulingError(
-                f"event at t={time} is in the past (now={self._now})"
+                f"event at t={time} is in the past (now={self.now})"
             )
-        heapq.heappush(self._queue, (int(time), self._seq, callback, args))
-        self._seq += 1
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(callback, args)]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append((callback, args))
 
     def run(self, until: int | None = None, max_events: int | None = None) -> int:
         """Drain the event queue.
@@ -82,40 +107,99 @@ class Engine:
             If given, stop once the next event would be later than this
             time (the clock is still advanced to ``until``).
         max_events:
-            Safety valve for tests; raises ``SchedulingError`` when
-            exceeded so a livelocked model fails loudly instead of hanging.
-            The budget applies to this ``run()`` invocation only — a
-            reused engine starts every run with a fresh count.
+            Safety valve for tests; the budget is exact — at most
+            ``max_events`` events execute, and ``SchedulingError`` is
+            raised as soon as one more would run, so a livelocked model
+            fails loudly instead of hanging. The budget applies to this
+            ``run()`` invocation only — a reused engine starts every run
+            with a fresh count.
 
         Returns
         -------
         int
             The simulation time when the run stopped.
         """
-        self._running = True
+        if until is None and max_events is None:
+            return self._run_unbounded()
+        times = self._times
+        buckets = self._buckets
         events_this_run = 0
+        self._running = True
         try:
-            while self._queue:
-                time, _seq, callback, args = self._queue[0]
+            while times:
+                time = times[0]
                 if until is not None and time > until:
-                    self._now = until
-                    return self._now
-                heapq.heappop(self._queue)
-                self._now = time
-                callback(*args)
-                self._events_processed += 1
-                events_this_run += 1
-                if max_events is not None and events_this_run > max_events:
-                    raise SchedulingError(
-                        f"exceeded max_events={max_events}; "
-                        "simulation appears livelocked"
-                    )
+                    self.now = until
+                    return self.now
+                bucket = buckets[time]
+                self.now = time
+                consumed = 0
+                try:
+                    while consumed < len(bucket):
+                        if max_events is not None and events_this_run >= max_events:
+                            raise SchedulingError(
+                                f"exceeded max_events={max_events}; "
+                                "simulation appears livelocked"
+                            )
+                        callback, args = bucket[consumed]
+                        consumed += 1
+                        callback(*args)
+                        events_this_run += 1
+                        self._events_processed += 1
+                finally:
+                    if consumed < len(bucket):
+                        # Interrupted mid-bucket (budget exhausted or a
+                        # callback raised): keep the unexecuted suffix so
+                        # the queue stays consistent. The budget check
+                        # fires *before* consuming, so the blocked event
+                        # is still pending; a callback that raised was
+                        # already consumed.
+                        buckets[time] = bucket[consumed:]
+                    else:
+                        heapq.heappop(times)
+                        del buckets[time]
         finally:
             self._running = False
-        if until is not None and until > self._now:
-            self._now = until
-        return self._now
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def _run_unbounded(self) -> int:
+        """Fast drain loop: no time bound, no event budget.
+
+        Everything hot is bound to locals; one heap pop per *distinct
+        timestamp*, then the bucket drains FIFO — including events a
+        callback appends to the current timestamp — with a single clock
+        store for the whole batch.
+        """
+        times = self._times
+        buckets = self._buckets
+        pop = heapq.heappop
+        events = 0
+        self._running = True
+        try:
+            while times:
+                time = pop(times)
+                bucket = buckets[time]
+                self.now = time
+                # List iterators are index-based, so events appended to
+                # this bucket mid-drain are picked up in FIFO order — the
+                # exact (time, seq) order of a classic event heap. If a
+                # callback raises, the whole bucket is kept (the engine's
+                # queue is not resumable after a model exception).
+                try:
+                    for callback, args in bucket:
+                        callback(*args)
+                except BaseException:
+                    heapq.heappush(times, time)
+                    raise
+                events += len(bucket)
+                del buckets[time]
+        finally:
+            self._events_processed += events
+            self._running = False
+        return self.now
 
     def peek_time(self) -> int | None:
         """Time of the next pending event, or ``None`` when idle."""
-        return self._queue[0][0] if self._queue else None
+        return self._times[0] if self._times else None

@@ -34,6 +34,8 @@ class BandwidthResource:
         :meth:`set_rate` (used by the dynamic lane balancer).
     """
 
+    __slots__ = ("name", "_rate", "_next_free", "_busy_granted", "_bytes_total", "_transfers")
+
     def __init__(self, name: str, rate: float) -> None:
         if rate <= 0:
             raise SimulationError(f"resource {name!r} needs positive rate, got {rate}")
@@ -52,17 +54,22 @@ class BandwidthResource:
 
         Returns the (integer) cycle at which the last byte has left the
         server. The caller is responsible for adding any propagation
-        latency on top.
+        latency on top. (Hot path: called once per packet/DRAM/NoC
+        transfer, so the arithmetic is branch-based rather than
+        ``max``/``is_integer`` calls — same values, fewer frames.)
         """
         if nbytes < 0:
             raise SimulationError(f"negative transfer size {nbytes}")
-        start = max(float(arrival), self._next_free)
+        next_free = self._next_free
+        start = arrival if arrival > next_free else next_free
         duration = nbytes / self._rate
-        self._next_free = start + duration
+        next_free = start + duration
+        self._next_free = next_free
         self._busy_granted += duration
         self._bytes_total += nbytes
         self._transfers += 1
-        return int(self._next_free) + (0 if self._next_free.is_integer() else 1)
+        whole = int(next_free)
+        return whole if whole == next_free else whole + 1
 
     def queue_delay(self, arrival: int) -> float:
         """Cycles a transfer arriving now would wait before service starts."""
@@ -122,6 +129,8 @@ class UtilizationWindow:
     :meth:`sample` on its own schedule; the window returns the fraction of
     the elapsed interval the resource was busy, clamped to ``[0, 1]``.
     """
+
+    __slots__ = ("resource", "_last_time", "_last_busy")
 
     def __init__(self, resource: BandwidthResource) -> None:
         self.resource = resource

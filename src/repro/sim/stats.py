@@ -2,12 +2,45 @@
 
 Each simulated component owns a :class:`StatGroup`; the harness flattens
 these into a :class:`repro.metrics.report.RunResult` at the end of a run.
+
+Hot components (caches, sockets, DRAM channels, SMs) do **not** call
+:meth:`StatGroup.add` on their per-access paths: every ``add`` costs a
+method call plus a string-keyed dict hash, and the simulator performs
+millions of accesses per run. Instead they keep *slotted integer
+counters* — plain ``__slots__`` attributes incremented with ``+= 1`` —
+and declare a ``_STAT_FIELDS`` table mapping each attribute to its
+public counter name. :func:`flatten_slots` folds those integers into the
+component's :class:`StatGroup` whenever the ``stats`` property is read
+(end of run, controller samples, tests), so the external dict-like
+interface is unchanged while the hot path touches no dicts at all.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+
+#: Declarative (attribute, counter key) table a slotted component exposes.
+StatFields = tuple[tuple[str, str], ...]
+
+
+def flatten_slots(obj: object, fields: StatFields, group: "StatGroup") -> "StatGroup":
+    """Fold an object's slotted integer counters into ``group``.
+
+    Assignment (not ``+=``) makes flattening idempotent, so the ``stats``
+    property of a hot component can flatten on every read. Zero counters
+    are skipped to preserve the sparse-dict behaviour of components that
+    always used :meth:`StatGroup.add` (untouched keys stay absent but
+    still read as 0 through the defaultdict interface).
+    """
+    counters = group._counters
+    for attr, key in fields:
+        value = getattr(obj, attr)
+        if value:
+            counters[key] = value
+        elif key in counters:
+            del counters[key]
+    return group
 
 
 class StatGroup:

@@ -115,37 +115,71 @@ def generate_addresses(
     if n_ops <= 0:
         return []
     chunk = geometry.cta_chunk(cta)
+    # Region.start / Region.n_lines are hoisted to locals: the generators
+    # run once per (CTA, slice) over every op, and n_lines is a computed
+    # property. The arithmetic (and the rng call sequence) is unchanged,
+    # so generated streams are identical to the per-call form.
+    chunk_start = chunk.start
+    chunk_lines = chunk.n_lines
     if kind is PatternKind.PRIVATE_STREAM:
         base = phase_offset + slice_index * n_ops
-        return [chunk.line_addr(base + i) for i in range(n_ops)]
+        return [
+            chunk_start + ((base + i) % chunk_lines) * LINE_SIZE
+            for i in range(n_ops)
+        ]
     if kind is PatternKind.PRIVATE_REUSE:
         # Loop over a working set sized to the slice burst: high reuse.
-        working_lines = max(2, min(chunk.n_lines, n_ops))
-        return [chunk.line_addr(phase_offset + i % working_lines) for i in range(n_ops)]
+        working_lines = max(2, min(chunk_lines, n_ops))
+        return [
+            chunk_start + ((phase_offset + i % working_lines) % chunk_lines) * LINE_SIZE
+            for i in range(n_ops)
+        ]
     if kind is PatternKind.STENCIL_HALO:
         addrs = []
         neighbour = geometry.cta_chunk(cta + 1)
+        n_start = neighbour.start
+        n_lines = neighbour.n_lines
+        base = phase_offset + slice_index * n_ops
+        halo = geometry.halo_fraction
+        random_ = rng.random
+        randrange = rng.randrange
         for i in range(n_ops):
-            if rng.random() < geometry.halo_fraction:
-                addrs.append(neighbour.line_addr(rng.randrange(neighbour.n_lines)))
+            if random_() < halo:
+                addrs.append(n_start + (randrange(n_lines) % n_lines) * LINE_SIZE)
             else:
-                addrs.append(chunk.line_addr(phase_offset + slice_index * n_ops + i))
+                addrs.append(chunk_start + ((base + i) % chunk_lines) * LINE_SIZE)
         return addrs
     if kind is PatternKind.SHARED_READ:
         shared = geometry.shared_region
+        s_start = shared.start
+        s_lines = shared.n_lines
+        base = phase_offset + slice_index * n_ops
+        fraction = geometry.shared_fraction
+        random_ = rng.random
+        randrange = rng.randrange
         addrs = []
         for i in range(n_ops):
-            if rng.random() < geometry.shared_fraction:
-                addrs.append(shared.line_addr(rng.randrange(shared.n_lines)))
+            if random_() < fraction:
+                addrs.append(s_start + (randrange(s_lines) % s_lines) * LINE_SIZE)
             else:
-                addrs.append(chunk.line_addr(phase_offset + slice_index * n_ops + i))
+                addrs.append(chunk_start + ((base + i) % chunk_lines) * LINE_SIZE)
         return addrs
     if kind is PatternKind.RANDOM_GLOBAL:
         region = geometry.private_region
+        r_start = region.start
+        r_lines = region.n_lines
+        randrange = rng.randrange
         return [
-            region.line_addr(rng.randrange(region.n_lines)) for _ in range(n_ops)
+            r_start + (randrange(r_lines) % r_lines) * LINE_SIZE
+            for _ in range(n_ops)
         ]
     if kind in (PatternKind.REDUCTION, PatternKind.GATHER_READ):
         out = geometry.output_region
-        return [out.line_addr(rng.randrange(out.n_lines)) for _ in range(n_ops)]
+        o_start = out.start
+        o_lines = out.n_lines
+        randrange = rng.randrange
+        return [
+            o_start + (randrange(o_lines) % o_lines) * LINE_SIZE
+            for _ in range(n_ops)
+        ]
     raise WorkloadError(f"unknown pattern kind {kind!r}")  # pragma: no cover

@@ -226,3 +226,103 @@ def test_partitioned_capacity_never_exceeded():
     for line in range(100):
         cache.fill(line, NumaClass.LOCAL if line % 3 else NumaClass.REMOTE)
     assert cache.valid_lines <= 16
+
+
+# ----------------------------------------------------------------------
+# invalidate_class x quotas / LRU (Static R$ flush semantics)
+# ----------------------------------------------------------------------
+
+def partitioned_cache(ways=4, sets=2, local_ways=2, remote_ways=2):
+    config = CacheConfig(capacity_bytes=sets * ways * 128, ways=ways)
+    return SetAssocCache("p", config, local_ways=local_ways,
+                         remote_ways=remote_ways)
+
+
+def test_invalidate_class_flushes_only_that_class():
+    cache = partitioned_cache(sets=1)
+    cache.fill(0, NumaClass.LOCAL)
+    cache.fill(1, NumaClass.LOCAL)
+    cache.fill(2, NumaClass.REMOTE)
+    cache.fill(3, NumaClass.REMOTE)
+    cache.invalidate_class(NumaClass.REMOTE)
+    occ = cache.occupancy()
+    assert occ[NumaClass.REMOTE] == 0
+    assert occ[NumaClass.LOCAL] == 2
+    assert cache.contains(0) and cache.contains(1)
+    assert not cache.contains(2) and not cache.contains(3)
+
+
+def test_invalidate_class_returns_only_dirty_lines_of_that_class():
+    cache = partitioned_cache(sets=1)
+    cache.fill(0, NumaClass.LOCAL, dirty=True)
+    cache.fill(2, NumaClass.REMOTE, dirty=True)
+    cache.fill(3, NumaClass.REMOTE, dirty=False)
+    dirty = cache.invalidate_class(NumaClass.REMOTE)
+    assert [e.line for e in dirty] == [2]
+    assert all(e.numa_class is NumaClass.REMOTE and e.dirty for e in dirty)
+    # The dirty local line is untouched and still resident.
+    assert cache.contains(0)
+    assert cache.stats["lines_invalidated"] == 2
+
+
+def test_fills_after_class_flush_reclaim_freed_frames_first():
+    # After a REMOTE flush the freed frames are invalid: new fills of
+    # either class must take them before evicting any surviving line.
+    cache = partitioned_cache(sets=1)
+    for line, cls in ((0, NumaClass.LOCAL), (1, NumaClass.LOCAL),
+                      (2, NumaClass.REMOTE), (3, NumaClass.REMOTE)):
+        cache.fill(line, cls)
+    cache.invalidate_class(NumaClass.REMOTE)
+    assert cache.fill(4, NumaClass.REMOTE) is None  # invalid frame, no victim
+    assert cache.fill(5, NumaClass.REMOTE) is None
+    occ = cache.occupancy()
+    assert occ[NumaClass.LOCAL] == 2 and occ[NumaClass.REMOTE] == 2
+
+
+def test_quota_steering_resumes_after_class_flush():
+    # Once the remote class re-fills to its quota, the next remote fill
+    # evicts the remote LRU, never a local line (lazy-eviction rule).
+    cache = partitioned_cache(sets=1, local_ways=2, remote_ways=2)
+    for line, cls in ((0, NumaClass.LOCAL), (1, NumaClass.LOCAL),
+                      (2, NumaClass.REMOTE), (3, NumaClass.REMOTE)):
+        cache.fill(line, cls)
+    cache.invalidate_class(NumaClass.REMOTE)
+    cache.fill(4, NumaClass.REMOTE)
+    cache.fill(6, NumaClass.REMOTE)
+    cache.lookup(4)  # 4 becomes remote MRU; 6 is remote LRU
+    evicted = cache.fill(8, NumaClass.REMOTE)
+    assert evicted is not None and evicted.line == 6
+    assert cache.contains(0) and cache.contains(1)
+
+
+def test_class_flush_then_repartition_counts_stay_consistent():
+    # Flush + quota moves must leave victim selection consistent: after
+    # shrinking the remote quota to 1, a remote fill into a full set
+    # evicts the remote LRU rather than stealing a local way.
+    cache = partitioned_cache(sets=1, local_ways=2, remote_ways=2)
+    for line, cls in ((0, NumaClass.LOCAL), (1, NumaClass.LOCAL),
+                      (2, NumaClass.REMOTE), (3, NumaClass.REMOTE)):
+        cache.fill(line, cls)
+    cache.invalidate_class(NumaClass.REMOTE)
+    cache.set_quotas(3, 1)
+    cache.fill(4, NumaClass.REMOTE)
+    cache.fill(6, NumaClass.REMOTE)  # second remote fill: over quota now
+    evicted = cache.fill(8, NumaClass.REMOTE)
+    assert evicted is not None
+    assert evicted.numa_class is NumaClass.REMOTE
+    assert cache.contains(0) and cache.contains(1)
+
+
+def test_runtime_partitioning_of_unpartitioned_cache_rebuilds_counts():
+    # An unpartitioned cache partitioned mid-run (set_quotas) must see
+    # correct per-class occupancy for its first partitioned victim pick.
+    cache = small_cache(ways=4, sets=1)
+    for line, cls in ((0, NumaClass.LOCAL), (1, NumaClass.LOCAL),
+                      (2, NumaClass.REMOTE), (3, NumaClass.REMOTE)):
+        cache.fill(line, cls)
+    cache.set_quotas(3, 1)
+    # Remote already holds >= its new quota: the incoming remote line
+    # must evict the remote LRU (line 2), not any local line.
+    evicted = cache.fill(6, NumaClass.REMOTE)
+    assert evicted is not None and evicted.line == 2
+    assert cache.contains(0) and cache.contains(1) and cache.contains(3)

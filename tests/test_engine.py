@@ -166,3 +166,59 @@ def test_callback_args_passed_through():
     eng.schedule(1, lambda a, b, c: got.append((a, b, c)), 1, "two", [3])
     eng.run()
     assert got == [(1, "two", [3])]
+
+
+def test_max_events_budget_is_exact():
+    # Regression: the budget check used to run *after* the callback, so
+    # max_events=N silently allowed N+1 events. The budget is now exact.
+    eng = Engine()
+    fired = []
+    for i in range(6):
+        eng.schedule(i, fired.append, i)
+    with pytest.raises(SchedulingError):
+        eng.run(max_events=5)
+    assert fired == [0, 1, 2, 3, 4]
+    assert eng.events_processed == 5
+    # The blocked sixth event is still pending and runs on the next call.
+    eng.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_max_events_equal_to_event_count_does_not_raise():
+    eng = Engine()
+    for i in range(5):
+        eng.schedule(i, lambda: None)
+    eng.run(max_events=5)
+    assert eng.events_processed == 5
+
+
+def test_exact_budget_mid_timestamp_batch():
+    # A budget boundary inside a same-timestamp batch must stop exactly
+    # there and keep the rest of the batch runnable.
+    eng = Engine()
+    fired = []
+    for i in range(4):
+        eng.schedule(7, fired.append, i)
+    with pytest.raises(SchedulingError):
+        eng.run(max_events=2)
+    assert fired == [0, 1]
+    eng.run()
+    assert fired == [0, 1, 2, 3]
+    assert eng.now == 7
+
+
+def test_events_scheduled_at_current_time_run_in_same_drain():
+    # The batched same-timestamp drain must pick up events a callback
+    # appends to the *current* cycle, in FIFO order.
+    eng = Engine()
+    fired = []
+
+    def first():
+        fired.append("first")
+        eng.schedule(0, fired.append, "appended")
+
+    eng.schedule(3, first)
+    eng.schedule(3, fired.append, "second")
+    eng.run()
+    assert fired == ["first", "second", "appended"]
+    assert eng.now == 3

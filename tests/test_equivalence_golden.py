@@ -1,0 +1,42 @@
+"""Hot-path equivalence: RunResults must match the pre-overhaul goldens.
+
+The goldens under ``tests/golden/hotpath/`` were recorded with
+``scripts/capture_equivalence_golden.py`` on the last revision *before*
+the hot-path overhaul (slotted counters, translation caches, bucket
+engine, victim-scan rewrites). Each test re-simulates one pinned case and
+compares the canonical RunResult JSON byte-for-byte, proving the rewrite
+changed no observable number — cycles, per-socket counters, link bytes,
+timelines, all of it.
+
+If a deliberate model change invalidates these goldens, re-record them
+(and say so in the commit): the harness proves optimizations are pure, it
+does not freeze the model forever.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.equivalence import canonical_result_json, equivalence_cases
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden" / "hotpath"
+
+_CASES = equivalence_cases()
+
+
+def test_golden_directory_is_complete():
+    """Every case has a golden and no stale goldens linger."""
+    expected = {f"{case.name}.json" for case in _CASES}
+    present = {path.name for path in GOLDEN_DIR.glob("*.json")}
+    assert present == expected
+
+
+@pytest.mark.parametrize("case", _CASES, ids=lambda case: case.name)
+def test_run_result_bit_identical(case):
+    golden = (GOLDEN_DIR / f"{case.name}.json").read_text()
+    assert canonical_result_json(case) == golden, (
+        f"{case.name}: RunResult JSON drifted from the pre-overhaul golden; "
+        "the hot path is no longer a pure optimization"
+    )

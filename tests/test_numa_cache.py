@@ -42,7 +42,7 @@ def fake_remote_reads(socket, link, window):
     """Enough outgoing read requests to project a saturated ingress."""
     capacity = link.bandwidth(Direction.INGRESS) * window
     n = int(capacity / DATA_BYTES) + 2
-    socket.stats.add("remote_read_requests", n)
+    socket.n_remote_read_requests += n
 
 
 def test_starts_half_and_half():

@@ -81,3 +81,61 @@ def test_timeseries_mean():
     ts.record(0, 1.0)
     ts.record(1, 3.0)
     assert ts.mean() == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# slotted-counter flattening (PR 2 hot-path stats)
+# ----------------------------------------------------------------------
+
+def test_flatten_slots_assigns_and_is_idempotent():
+    from repro.sim.stats import flatten_slots
+
+    class Probe:
+        _STAT_FIELDS = (("n_hits", "hits"), ("n_misses", "misses"))
+
+        def __init__(self):
+            self.n_hits = 0
+            self.n_misses = 0
+
+    probe = Probe()
+    group = StatGroup("probe")
+    probe.n_hits = 3
+    flattened = flatten_slots(probe, Probe._STAT_FIELDS, group)
+    assert flattened is group
+    assert group["hits"] == 3
+    # Zero counters stay absent (sparse-dict behaviour preserved) ...
+    assert "misses" not in group.as_dict()
+    # ... but still read as zero through the defaultdict interface.
+    assert group["misses"] == 0
+    # Flattening again after more increments overwrites, never doubles.
+    probe.n_hits = 5
+    flatten_slots(probe, Probe._STAT_FIELDS, group)
+    assert group["hits"] == 5
+
+
+def test_cache_stats_property_reflects_slotted_counters():
+    from repro.config import CacheConfig
+    from repro.memory.cache import NumaClass, SetAssocCache
+
+    cache = SetAssocCache(
+        "c", CacheConfig(capacity_bytes=4 * 2 * 128, ways=2)
+    )
+    cache.lookup(0)
+    cache.fill(0, NumaClass.LOCAL)
+    cache.lookup(0)
+    stats = cache.stats
+    assert stats["read_misses"] == 1
+    assert stats["read_hits"] == 1
+    assert stats["fills"] == 1
+    assert stats.name == "c"
+
+
+def test_dram_stats_property_reflects_slotted_counters():
+    from repro.memory.dram import DramChannel
+
+    dram = DramChannel(0, bandwidth=64.0, latency=10)
+    dram.access(0, 128)
+    dram.access(5, 128, write=True)
+    assert dram.stats["reads"] == 1
+    assert dram.stats["writes"] == 1
+    assert dram.stats["bytes"] == 256
