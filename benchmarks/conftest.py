@@ -41,6 +41,21 @@ _CONTEXTS: dict[str, ExperimentContext] = {}
 
 _SESSION_START = time.perf_counter()
 
+#: True only when this session actually collected benchmark tests. A
+#: plain tier-1 ``pytest`` run from the repo root traverses this
+#: directory (loading this conftest) without collecting any bench; its
+#: sessionfinish must NOT overwrite BENCH_hotpath.json with the unit-test
+#: suite's incidental simulation tally.
+_COLLECTED_BENCH_ITEMS = False
+
+
+def pytest_collection_modifyitems(session, config, items) -> None:
+    global _COLLECTED_BENCH_ITEMS
+    here = Path(__file__).resolve().parent
+    _COLLECTED_BENCH_ITEMS = any(
+        here in Path(str(item.fspath)).resolve().parents for item in items
+    )
+
 
 def bench_scale_name() -> str:
     """Scale preset selected for this benchmark run."""
@@ -104,7 +119,7 @@ def pytest_sessionfinish(session, exitstatus) -> None:
     fewer in-process runs than a cold one — ``suite_wall_seconds`` is the
     cold tiny-suite wall-clock only for a serial, cache-less session).
     """
-    if SIM_TALLY.runs == 0:
+    if not _COLLECTED_BENCH_ITEMS or SIM_TALLY.runs == 0:
         return  # collection-only / non-bench invocation: nothing to record
     path = _bench_json_path()
     record: dict = {}

@@ -2,17 +2,40 @@
 
 Runs a small fixed simulation mix (no profiler, disk cache bypassed by
 construction — fresh in-memory context) and compares the measured engine
-throughput against the ``events_per_second_floor`` recorded in
-``BENCH_hotpath.json`` at the repo root. The floor is deliberately set
-far below the development machine's measured rate so ordinary CI-runner
-variance passes while a hot-path regression of the kind this PR removed
-(string-keyed stat dicts, per-access translate calls, enum-keyed victim
-scans) fails loudly.
+throughput against ``BENCH_hotpath.json`` at the repo root, two ways:
+
+* ``events_per_second_floor`` — a hard floor set deliberately far below
+  the development machine's measured rate, so ordinary CI-runner
+  variance passes while a structural hot-path regression (string-keyed
+  stat dicts, per-access translate calls, un-fused miss chains) fails
+  loudly;
+* ``probe_events_per_second`` — the recorded gate reference for the
+  probe; a drop of more than ``--regression-tolerance`` (default 25%)
+  against it fails, which is the CI regression gate for gradual decay.
+  Record the reference on (or conservatively for) the slowest machine
+  class that runs the gate — CI runners vary, and the tolerance is
+  meant to absorb measurement noise, not cross-machine speed gaps. (The
+  ``events_per_second`` key is the benchmark suite's own series, written
+  by ``benchmarks/conftest.py`` over a different simulation mix.)
+
+Measurement protocol: the probe mix is executed ``--repeats`` times and
+each simulation's *minimum* wall-clock across rounds is kept (the
+standard best-of-N benchmark discipline — the minimum estimates the
+code's cost with the least scheduler/frequency noise; events per run are
+deterministic and identical across rounds, which is asserted). Trace
+generation is excluded by construction: ``run_workload_on``
+pre-materializes CTA slices before the timed engine drain.
+
+``--append-history`` records the measurement into a ``history`` list in
+``BENCH_hotpath.json`` (one entry per PR / recording), giving the repo a
+machine-readable events/sec trajectory.
 
 Usage::
 
-    PYTHONPATH=src python scripts/perf_smoke.py            # assert floor
-    PYTHONPATH=src python scripts/perf_smoke.py --report   # print only
+    PYTHONPATH=src python scripts/perf_smoke.py              # assert
+    PYTHONPATH=src python scripts/perf_smoke.py --report     # print only
+    PYTHONPATH=src python scripts/perf_smoke.py --scale small --report
+    PYTHONPATH=src python scripts/perf_smoke.py --append-history "PR 3"
 """
 
 from __future__ import annotations
@@ -20,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.config import CacheArch
@@ -32,21 +56,91 @@ from repro.workloads.suite import get_workload
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 
 #: The fixed probe mix: three behaviour profiles x the two extreme cache
-#: organizations, tiny scale. Small enough for CI, large enough that
-#: per-run constant costs do not dominate the events/sec figure.
+#: organizations, tiny scale by default. Small enough for CI, large
+#: enough that per-run constant costs do not dominate the events/sec
+#: figure.
 PROBE_WORKLOADS = ("Rodinia-BFS", "Rodinia-Hotspot", "ML-AlexNet-cudnn-Lev2")
 PROBE_ARCHES = (CacheArch.MEM_SIDE, CacheArch.NUMA_AWARE)
 
 
-def measure() -> dict:
-    """Run the probe mix and return the tally snapshot."""
-    ctx = ExperimentContext(scale=SCALES["tiny"])
-    SIM_TALLY.reset()
-    for name in PROBE_WORKLOADS:
-        workload = get_workload(name)
-        for arch in PROBE_ARCHES:
-            run_workload_on(ctx.config_cache(arch), workload, SCALES["tiny"])
-    return SIM_TALLY.snapshot()
+def measure(scale: str = "tiny", repeats: int = 3) -> dict:
+    """Run the probe mix ``repeats`` times; return the best-of summary.
+
+    Per (workload, arch) cell the minimum engine-drain wall across
+    rounds is kept; event counts are deterministic and asserted equal
+    across rounds.
+    """
+    ctx = ExperimentContext(scale=SCALES[scale])
+    cells = [
+        (name, arch) for name in PROBE_WORKLOADS for arch in PROBE_ARCHES
+    ]
+    events: list[int] = [0] * len(cells)
+    cycles: list[int] = [0] * len(cells)
+    best_wall: list[float] = [float("inf")] * len(cells)
+    for _ in range(max(1, repeats)):
+        for idx, (name, arch) in enumerate(cells):
+            workload = get_workload(name)
+            SIM_TALLY.reset()
+            run_workload_on(ctx.config_cache(arch), workload, SCALES[scale])
+            snap = SIM_TALLY.snapshot()
+            if events[idx] and snap["events"] != events[idx]:
+                raise AssertionError(
+                    f"{name}/{arch.value}: nondeterministic event count "
+                    f"({snap['events']} != {events[idx]})"
+                )
+            events[idx] = snap["events"]
+            cycles[idx] = snap["cycles"]
+            if snap["wall_seconds"] < best_wall[idx]:
+                best_wall[idx] = snap["wall_seconds"]
+    total_events = sum(events)
+    total_wall = sum(best_wall)
+    return {
+        "runs": len(cells),
+        "repeats": max(1, repeats),
+        "scale": scale,
+        "events": total_events,
+        "cycles": sum(cycles),
+        "wall_seconds": round(total_wall, 6),
+        "events_per_second": round(total_events / total_wall, 1)
+        if total_wall > 0
+        else 0.0,
+    }
+
+
+def append_history(record: dict, label: str, set_gate: bool = False) -> None:
+    """Append one measurement to BENCH_hotpath.json's ``history`` list.
+
+    The gate reference ``probe_events_per_second`` is updated only when
+    ``set_gate`` is requested *and* the measurement used the tiny probe:
+    the reference is deliberately recorded conservatively for the
+    slowest machine class running the gate, so routine history
+    recordings on a fast dev box must not clobber (and thereby break)
+    the CI gate, and a slow-laptop recording must not silently loosen
+    it. The probe series is in any case kept separate from the
+    bench-suite series the benchmark conftest records under
+    ``events_per_second`` — different simulation mixes must not gate
+    each other.
+    """
+    bench = {}
+    if BENCH_PATH.exists():
+        try:
+            bench = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            bench = {}
+    history = bench.setdefault("history", [])
+    history.append(
+        {
+            "label": label,
+            "source": "probe",
+            "scale": record["scale"],
+            "events": record["events"],
+            "events_per_second": record["events_per_second"],
+            "recorded_at": time.strftime("%Y-%m-%d"),
+        }
+    )
+    if set_gate and record["scale"] == "tiny":
+        bench["probe_events_per_second"] = record["events_per_second"]
+    BENCH_PATH.write_text(json.dumps(bench, indent=1, sort_keys=True) + "\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,29 +148,94 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--report",
         action="store_true",
-        help="print the measurement without asserting the floor",
+        help="print the measurement without asserting floors",
+    )
+    parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=sorted(SCALES),
+        help="workload scale preset for the probe mix (default: tiny)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="measurement rounds; per-simulation minimum wall is kept",
+    )
+    parser.add_argument(
+        "--regression-tolerance",
+        type=float,
+        default=0.25,
+        help="maximum fractional events/sec drop vs the recorded "
+        "measurement before the smoke fails (default: 0.25)",
+    )
+    parser.add_argument(
+        "--append-history",
+        metavar="LABEL",
+        default=None,
+        help="append this measurement to BENCH_hotpath.json's history "
+        "under LABEL (the regression-gate reference is NOT touched "
+        "unless --set-gate-reference is also given)",
+    )
+    parser.add_argument(
+        "--set-gate-reference",
+        action="store_true",
+        help="with --append-history on the tiny probe: also record this "
+        "measurement as probe_events_per_second, the >25%%-regression "
+        "gate reference. Record it on (or conservatively for) the "
+        "slowest machine class that runs the gate.",
     )
     args = parser.parse_args(argv)
 
-    tally = measure()
+    tally = measure(scale=args.scale, repeats=args.repeats)
     print(f"perf smoke: {json.dumps(tally)}")
+    # Snapshot the gate references BEFORE any history rewrite so a
+    # recording invocation still gates against the *previous* reference
+    # (never against itself).
+    recorded = None
+    if BENCH_PATH.exists():
+        recorded = json.loads(BENCH_PATH.read_text())
+    if args.append_history:
+        append_history(
+            tally, args.append_history, set_gate=args.set_gate_reference
+        )
+        print(f"history += {args.append_history!r} -> {BENCH_PATH.name}")
     if args.report:
         return 0
-    if not BENCH_PATH.exists():
+    if args.scale != "tiny":
+        print(
+            f"(floors are recorded for the tiny probe; --scale {args.scale} "
+            "is report-only)",
+        )
+        return 0
+    if recorded is None:
         print(f"no {BENCH_PATH.name} found; nothing to assert", file=sys.stderr)
         return 1
-    recorded = json.loads(BENCH_PATH.read_text())
+    rate = tally["events_per_second"]
+    failed = False
     floor = recorded.get("events_per_second_floor")
     if not floor:
         print(f"{BENCH_PATH.name} has no events_per_second_floor", file=sys.stderr)
         return 1
-    rate = tally["events_per_second"]
     if rate < floor:
         print(
             f"FAIL: {rate:.0f} events/s is below the recorded floor "
             f"{floor:.0f} — the per-access hot path has regressed",
             file=sys.stderr,
         )
+        failed = True
+    last = recorded.get("probe_events_per_second")
+    if last:
+        allowed = last * (1.0 - args.regression_tolerance)
+        if rate < allowed:
+            print(
+                f"FAIL: {rate:.0f} events/s is >"
+                f"{100 * args.regression_tolerance:.0f}% below the last "
+                f"recorded {last:.0f} events/s",
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
         return 1
     print(f"OK: {rate:.0f} events/s >= floor {floor:.0f}")
     return 0

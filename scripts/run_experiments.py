@@ -6,7 +6,14 @@ drivers at the requested scale and records the means the paper reports.
 
 Usage:
     python scripts/run_experiments.py [tiny|small|medium] [out.json]
+        [--scale NAME] [--workloads full|compact]
         [--jobs N] [--cache-dir DIR | --no-cache]
+
+``--scale`` overrides the positional scale (CI invokes the tier
+explicitly as ``--scale small``); ``--workloads compact`` restricts the
+figure grid to the behaviour-class cross-section
+``repro.workloads.suite.COMPACT_SET`` so paper-scale tiers fit a CI job
+budget.
 
 With ``--jobs N`` (or ``REPRO_JOBS=N``) the full simulation grid is first
 captured from the drivers and fanned out over N worker processes; the
@@ -24,6 +31,7 @@ import time
 from repro.harness import experiments as E
 from repro.harness.parallel import ParallelRunner, make_context, resolve_jobs
 from repro.workloads.spec import SCALES
+from repro.workloads.suite import COMPACT_SET
 
 #: Figure 6 sampling-time sweep used for the JSON summary.
 SAMPLE_TIMES = (500, 1000, 5000, 20000)
@@ -39,6 +47,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workload scale preset")
     parser.add_argument("output", nargs="?", default="experiment_results.json",
                         help="output JSON path")
+    parser.add_argument(
+        "--scale", dest="scale_opt", default=None, choices=sorted(SCALES),
+        metavar="NAME",
+        help="workload scale preset (overrides the positional form)",
+    )
+    parser.add_argument(
+        "--output", dest="output_opt", default=None, metavar="PATH",
+        help="output JSON path (overrides the positional form; use with "
+        "--scale to avoid positional ambiguity)",
+    )
+    parser.add_argument(
+        "--workloads", default="full", choices=("full", "compact"),
+        help="figure-grid workload selection: the full 41-workload suite "
+        "or the CI cross-section (repro.workloads.suite.COMPACT_SET)",
+    )
     parser.add_argument(
         "--jobs", "-j", type=int, default=None, metavar="N",
         help="worker processes for the simulation grid "
@@ -60,30 +83,36 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    scale = args.scale_opt or args.scale
+    output = args.output_opt or args.output
     jobs = resolve_jobs(args.jobs)
     t0 = time.time()
     ctx = make_context(
-        SCALES[args.scale],
+        SCALES[scale],
         cache_dir=None if args.no_cache else args.cache_dir,
     )
-    out: dict = {"scale": args.scale, "jobs": jobs}
+    #: None = each driver's own default (full suite / study set).
+    names = COMPACT_SET if args.workloads == "compact" else None
+    out: dict = {"scale": scale, "jobs": jobs, "workloads": args.workloads}
 
     # One driver per figure, defined once so the parallel prewarm captures
     # exactly the grid the serial pass below will request.
     drivers = {
         "figure2": lambda c: E.figure2(c),
-        "figure3": lambda c: E.figure3(c),
+        "figure3": lambda c: E.figure3(c, workloads=names),
         "figure5": lambda c: E.figure5(c),
-        "figure6": lambda c: E.figure6(c, sample_times=SAMPLE_TIMES),
-        "figure8": lambda c: E.figure8(c),
-        "figure9": lambda c: E.figure9(c),
-        "figure10": lambda c: E.figure10(c),
-        "figure11": lambda c: E.figure11(c),
-        "switch_time": lambda c: E.switch_time_sensitivity(
-            c, switch_times=(10, 100, 500), sample_time=1000
+        "figure6": lambda c: E.figure6(
+            c, workloads=names, sample_times=SAMPLE_TIMES
         ),
-        "writeback": lambda c: E.writeback_sensitivity(c),
-        "power": lambda c: E.power_analysis(c),
+        "figure8": lambda c: E.figure8(c, workloads=names),
+        "figure9": lambda c: E.figure9(c, workloads=names),
+        "figure10": lambda c: E.figure10(c, workloads=names),
+        "figure11": lambda c: E.figure11(c, workloads=names),
+        "switch_time": lambda c: E.switch_time_sensitivity(
+            c, workloads=names, switch_times=(10, 100, 500), sample_time=1000
+        ),
+        "writeback": lambda c: E.writeback_sensitivity(c, workloads=names),
+        "power": lambda c: E.power_analysis(c, workloads=names),
     }
 
     if jobs > 1:
@@ -172,9 +201,9 @@ def main(argv: list[str] | None = None) -> int:
 
     out["wall_seconds"] = time.time() - t0
     out["simulations"] = ctx.cached_runs
-    with open(args.output, "w") as handle:
+    with open(output, "w") as handle:
         json.dump(out, handle, indent=1, default=str)
-    print("ALL DONE", round(time.time() - t0), "->", args.output, flush=True)
+    print("ALL DONE", round(time.time() - t0), "->", output, flush=True)
     return 0
 
 

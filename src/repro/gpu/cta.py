@@ -73,6 +73,7 @@ class CtaExecution:
         "_outstanding",
         "_compute_pending",
         "_done",
+        "_compute_cb",
     )
 
     def __init__(
@@ -100,6 +101,9 @@ class CtaExecution:
         self._outstanding = 0
         self._compute_pending = False
         self._done = False
+        # Prebound once: the compute-done event is scheduled per slice
+        # through the engine's zero-argument fast path.
+        self._compute_cb = self._compute_done
 
     def start(self) -> None:
         """Begin executing the first slice (call once)."""
@@ -120,7 +124,7 @@ class CtaExecution:
         self._op_idx = 0
         self._outstanding = 0
         self._compute_pending = True
-        self.engine.schedule(current.compute_cycles, self._compute_done)
+        self.engine.schedule_call(current.compute_cycles, self._compute_cb)
         self._issue_ops()
 
     def _issue_ops(self) -> None:
@@ -161,13 +165,15 @@ class CtaExecution:
     def _op_done(self) -> None:
         # _maybe_finish_slice is inlined here (this runs once per async
         # memory op); the re-reads after _issue_ops are deliberate — it
-        # mutates _op_idx and _outstanding.
+        # mutates _op_idx and _outstanding. The finish-check conditions
+        # are ordered most-likely-false first (side-effect free, so the
+        # short-circuit reorder cannot change behaviour).
         self._outstanding -= 1
         if self._op_idx < self._n_ops:
             self._issue_ops()
         if (
-            not self._compute_pending
-            and self._outstanding == 0
+            self._outstanding == 0
+            and not self._compute_pending
             and self._op_idx >= self._n_ops
             and not self._done
         ):

@@ -18,30 +18,37 @@ line; later missers piggyback), writes are write-through at L1 and either
 forwarded to the home socket or absorbed dirty into a GPU-side write-back
 L2 depending on the organization.
 
-Hot-path notes (DESIGN.md, "Hot-path architecture"): :meth:`GpuSocket.access`
-runs once per coalesced memory operation — millions of times per run — so
-it consults a per-socket ``line -> (home, is_local)`` translation cache
-(registered with the page table, which invalidates it on page re-homing)
-instead of calling ``PageTable.translate`` per access, and counts
-statistics in slotted integer attributes flattened into ``stats`` only
-when that property is read.
+Hot-path notes (DESIGN.md, "Hot-path architecture" and "Fused miss
+pipeline"): :meth:`GpuSocket.access` runs once per coalesced memory
+operation — millions of times per run — so it consults a per-socket
+``line -> home_socket`` translation cache (registered with the page
+table, which invalidates it on page re-homing) instead of calling
+``PageTable.translate`` per access, and counts statistics in slotted
+integer attributes flattened into ``stats`` only when that property is
+read. Everything downstream of the L1 runs through the fused miss
+pipeline of :mod:`repro.sim.path`: one pooled walker per in-flight miss
+carries the line through its NoC/L2/link/DRAM hops, each hop at its
+exact stepwise cycle (the determinism contract lives in path.py's module
+docstring).
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Callable
 
 from repro.config import CacheArch, PlacementPolicy, SystemConfig, WritePolicy
 from repro.gpu.cta import CtaExecution, MemOp as _SingleOp, Slice
 from repro.gpu.sm import Sm
-from repro.interconnect.packets import DATA_BYTES, PacketKind
+from repro.interconnect.packets import DATA_BYTES
 from repro.interconnect.switch import Switch
-from repro.memory.cache import EvictedLine, NumaClass, SetAssocCache
+from repro.memory.cache import SetAssocCache
 from repro.memory.coherence import CoherenceDomain, FlushResult
 from repro.memory.dram import DramChannel
 from repro.memory.page_table import PageTable
 from repro.sim.engine import Engine
+from repro.sim.path import ReadPath, WritePath
 from repro.sim.resource import BandwidthResource
 from repro.sim.stats import StatGroup, flatten_slots
 
@@ -66,19 +73,19 @@ class GpuSocket:
         "dram",
         "noc",
         "noc_latency",
+        "_noc_data_duration",
         "coherence",
         "_l2_hit_latency",
         "_l2_holds_remote",
+        "_l2_write_through",
         "_caches_remote_writes",
         "_always_local",
-        "_sched",
-        "_sched_at",
-        "_dram_access",
-        "_l2_lookup",
-        "_l2_fill",
         "_l1_refills",
+        "_read_pool",
+        "_write_pool",
         "_stats",
         "_pending_reads",
+        "_pending_pop",
         "_xlate",
         "_cta_queue",
         "_active_ctas",
@@ -145,6 +152,10 @@ class GpuSocket:
         self.dram = DramChannel(socket_id, gpu.dram_bandwidth, gpu.dram_latency)
         self.noc = BandwidthResource(f"noc{socket_id}", gpu.noc_bandwidth)
         self.noc_latency = gpu.noc_latency
+        # NoC service time for one coalesced access, precomputed: the NoC
+        # rate never changes at runtime (only link lanes are dynamic), so
+        # the division is hoisted out of the per-miss issue loop.
+        self._noc_data_duration = DATA_BYTES / self.noc.rate
         self.coherence = CoherenceDomain(
             socket_id,
             self.arch,
@@ -155,6 +166,7 @@ class GpuSocket:
         # Per-access invariants hoisted out of the hot handlers.
         self._l2_hit_latency = gpu.l2.hit_latency
         self._l2_holds_remote = self.arch is not CacheArch.MEM_SIDE
+        self._l2_write_through = self.write_policy is WritePolicy.WRITE_THROUGH
         self._caches_remote_writes = (
             self.arch in (CacheArch.SHARED_COHERENT, CacheArch.NUMA_AWARE)
             and self.write_policy is WritePolicy.WRITE_BACK
@@ -171,12 +183,10 @@ class GpuSocket:
         # Pre-bound methods for the per-event handlers (one attribute
         # chain saved per call, millions of calls per run). All of these
         # targets are fixed for the socket's lifetime.
-        self._sched = engine.schedule
-        self._sched_at = engine.schedule_at
-        self._dram_access = self.dram.access
-        self._l2_lookup = self.l2.lookup
-        self._l2_fill = self.l2.fill
         self._l1_refills = tuple(l1.refill for l1 in self._l1s)
+        # Free lists of recycled miss-path walkers (repro.sim.path).
+        self._read_pool: list[ReadPath] = []
+        self._write_pool: list[WritePath] = []
         self._stats = StatGroup(f"socket{socket_id}")
         self.n_local_accesses = 0
         self.n_remote_accesses = 0
@@ -194,11 +204,15 @@ class GpuSocket:
         self.n_remote_writebacks = 0
         self.n_flush_remote_writebacks = 0
         self.n_ctas_completed = 0
-        # Socket-level read MSHRs: line -> list of (sm_index, callback).
-        self._pending_reads: dict[int, list[tuple[int, OnDone]]] = {}
-        # line -> (home, is_local) translation cache; the page table drops
-        # entries when a page is re-homed (see PageTable.invalidate_page).
-        self._xlate: dict[int, tuple[int, bool]] = {}
+        # Socket-level read MSHRs: line -> (sm_index, callback) for a
+        # single outstanding reader (the common case), promoted to a
+        # list of such tuples when later missers coalesce onto the line.
+        self._pending_reads: dict[int, tuple | list] = {}
+        self._pending_pop = self._pending_reads.pop
+        # line -> home-socket translation cache (locality is the int
+        # compare ``home == socket_id``); the page table drops entries
+        # when a page is re-homed (see PageTable.invalidate_page).
+        self._xlate: dict[int, int] = {}
         page_table.register_line_cache(self._xlate)
         # Sub-kernel execution state.
         self._cta_queue: deque[tuple[int, list[Slice]]] = deque()
@@ -313,20 +327,50 @@ class GpuSocket:
         probe/downstream handoff. Hit counters are applied once at the
         end of the burst — no event or callback can observe them
         mid-burst, because the burst runs inside a single engine event.
+
+        Each async op hands off to a pooled :mod:`repro.sim.path` walker
+        that carries the miss through the rest of the hierarchy.
         """
         l1 = self._l1s[sm_index]
-        l1_where = l1._where
+        l1_get = l1._where.get
         always_local = self._always_local
+        xlate_get = self._xlate.get
         xlate = self._xlate
         socket_id = self.socket_id
         line_size = self.line_size
         pending = self._pending_reads
+        pending_get = pending.get
+        translate = self.page_table.translate
+        noc_latency = self.noc_latency
+        engine = self.engine
+        now = engine.now
+        buckets = engine._buckets
+        bucket_get = buckets.get
+        times = engine._times
+        n_pending = 0
+        # NoC server state batched in locals for the whole burst: the NoC
+        # is only ever admitted from this loop and only read by stats
+        # after the run, and the burst runs inside one engine event, so
+        # deferring the stores to the end of the burst is exact. The one
+        # exception is ``_busy_granted``: it accumulates *floats*, whose
+        # addition is not associative, so it keeps its per-admission add
+        # order (an int/dyadic batch would still be exact for the stock
+        # configs, but the contract must not depend on the rate's bits).
+        noc = self.noc
+        noc_next_free = noc._next_free
+        noc_duration = self._noc_data_duration
+        noc_transfers = 0
         n_ops = len(ops)
         i = start
         n_async = 0
         n_local = 0
         n_remote = 0
         n_hits = 0
+        n_read_misses = 0
+        n_coalesced = 0
+        n_writes = 0
+        n_write_hits = 0
+        n_write_misses = 0
         while i < n_ops and n_async < limit:
             op = ops[i]
             i += 1
@@ -337,14 +381,12 @@ class GpuSocket:
                 is_local = True
                 migration_extra = 0
             else:
-                cached = xlate.get(line)
-                if cached is not None:
-                    home, is_local = cached
+                home = xlate_get(line)
+                if home is not None:
+                    is_local = home == socket_id
                     migration_extra = 0
                 else:
-                    home, migration_extra = self.page_table.translate(
-                        addr, socket_id
-                    )
+                    home, migration_extra = translate(addr, socket_id)
                     is_local = home == socket_id
                     if (
                         migration_extra == 0
@@ -352,7 +394,7 @@ class GpuSocket:
                     ):
                         # Cache only once the page's charge is settled; see
                         # the FIRST_TOUCH single-socket caveat in __init__.
-                        xlate[line] = (home, is_local)
+                        xlate[line] = home
             if is_local:
                 n_local += 1
             else:
@@ -362,242 +404,147 @@ class GpuSocket:
                 # copy (kept clean) and always forward the write
                 # downstream. Inlined l1.lookup(line, write=True) — the
                 # L1 is always write-through, so no dirty bit is set —
-                # and _start_write (NoC serialize + hand to _write_at_l2).
-                l1._tick += 1
-                way = l1_where.get(line)
+                # then hand to a WritePath walker (NoC serialize inline).
+                way = l1_get(line)
                 if way is not None:
-                    way.last_use = l1._tick
-                    l1.n_write_hits += 1
+                    sent = way.sent
+                    if way.nxt is not sent:
+                        p = way.prev
+                        n = way.nxt
+                        p.nxt = n
+                        n.prev = p
+                        p = sent.prev
+                        p.nxt = way
+                        way.prev = p
+                        way.nxt = sent
+                        sent.prev = way
+                    n_write_hits += 1
                 else:
-                    l1.n_write_misses += 1
-                self.n_writes += 1
-                noc = self.noc
-                next_free = noc._next_free
-                now = self.engine.now
-                duration = DATA_BYTES / noc._rate
-                next_free = (now if now > next_free else next_free) + duration
-                noc._next_free = next_free
-                noc._busy_granted += duration
-                noc._bytes_total += DATA_BYTES
-                noc._transfers += 1
-                whole = int(next_free)
-                begin = whole if whole == next_free else whole + 1
-                self._sched_at(
-                    begin + self.noc_latency + migration_extra,
-                    self._write_at_l2,
-                    line,
-                    home,
-                    is_local,
-                    on_done,
-                )
+                    n_write_misses += 1
+                n_writes += 1
+                noc_next_free = (
+                    now if now > noc_next_free else noc_next_free
+                ) + noc_duration
+                noc._busy_granted += noc_duration
+                noc_transfers += 1
+                whole = int(noc_next_free)
+                begin = whole if whole == noc_next_free else whole + 1
+                wpool = self._write_pool
+                wp = wpool.pop() if wpool else WritePath(self, wpool)
+                wp.line = line
+                wp.home_id = home
+                wp.is_local = is_local
+                wp.on_done = on_done
+                # Inlined Engine.schedule_call_at (bucket append).
+                t = begin + noc_latency + migration_extra
+                bucket = bucket_get(t)
+                if bucket is None:
+                    buckets[t] = [wp.st_l2]
+                    heappush(times, t)
+                else:
+                    bucket.append(wp.st_l2)
+                n_pending += 1
                 n_async += 1
                 continue
             # Inlined l1.lookup(line) — the single hottest statement of
             # the simulator. Must mirror SetAssocCache.lookup's read path
-            # exactly (tick advance, LRU touch, hit/miss counters).
-            l1._tick += 1
-            way = l1_where.get(line)
+            # exactly (recency-list touch, hit/miss counters).
+            way = l1_get(line)
             if way is not None:
-                way.last_use = l1._tick
+                sent = way.sent
+                if way.nxt is not sent:
+                    p = way.prev
+                    n = way.nxt
+                    p.nxt = n
+                    n.prev = p
+                    p = sent.prev
+                    p.nxt = way
+                    way.prev = p
+                    way.nxt = sent
+                    sent.prev = way
                 n_hits += 1
                 continue
-            l1.n_read_misses += 1
-            self.n_l1_misses += 1
+            n_read_misses += 1
             n_async += 1
-            waiters = pending.get(line)
+            waiters = pending_get(line)
             if waiters is not None:
-                waiters.append((sm_index, on_done))
-                self.n_reads_coalesced += 1
+                # Second and later missers: promote the bare first-waiter
+                # tuple to a list (coalesced reads are the rare case).
+                if type(waiters) is tuple:
+                    pending[line] = [waiters, (sm_index, on_done)]
+                else:
+                    waiters.append((sm_index, on_done))
+                n_coalesced += 1
                 continue
-            pending[line] = [(sm_index, on_done)]
+            pending[line] = (sm_index, on_done)
             # Inlined BandwidthResource.service for the NoC hop (one call
             # per outstanding read): identical arithmetic, fixed positive
             # transfer size.
-            noc = self.noc
-            next_free = noc._next_free
-            now = self.engine.now
-            duration = DATA_BYTES / noc._rate
-            next_free = (now if now > next_free else next_free) + duration
-            noc._next_free = next_free
-            noc._busy_granted += duration
-            noc._bytes_total += DATA_BYTES
-            noc._transfers += 1
-            whole = int(next_free)
-            begin = whole if whole == next_free else whole + 1
-            self._sched_at(
-                begin + self.noc_latency + migration_extra,
-                self._read_at_l2,
-                line,
-                home,
-                NumaClass.LOCAL if is_local else NumaClass.REMOTE,
-            )
+            noc_next_free = (
+                now if now > noc_next_free else noc_next_free
+            ) + noc_duration
+            noc._busy_granted += noc_duration
+            noc_transfers += 1
+            whole = int(noc_next_free)
+            begin = whole if whole == noc_next_free else whole + 1
+            rpool = self._read_pool
+            rp = rpool.pop() if rpool else ReadPath(self, rpool)
+            rp.line = line
+            rp.cls = 0 if is_local else 1
+            rp.home_id = home
+            t = begin + noc_latency + migration_extra
+            bucket = bucket_get(t)
+            if bucket is None:
+                buckets[t] = [rp.st_l2]
+                heappush(times, t)
+            else:
+                bucket.append(rp.st_l2)
+            n_pending += 1
+        if noc_transfers:
+            noc._next_free = noc_next_free
+            noc._bytes_total += DATA_BYTES * noc_transfers
+            noc._transfers += noc_transfers
+        if n_pending:
+            engine._pending += n_pending
         self.n_local_accesses += n_local
         self.n_remote_accesses += n_remote
         l1.n_read_hits += n_hits
         self.n_l1_hits += n_hits
+        if n_read_misses:
+            l1.n_read_misses += n_read_misses
+            self.n_l1_misses += n_read_misses
+            self.n_reads_coalesced += n_coalesced
+        if n_writes:
+            self.n_writes += n_writes
+            l1.n_write_hits += n_write_hits
+            l1.n_write_misses += n_write_misses
         return i, n_async
-
-    # ------------------------------------------------------------------
-    # read path
-    # ------------------------------------------------------------------
-    def _read_at_l2(self, line: int, home: int, numa_class: NumaClass) -> None:
-        l2_can_hold = numa_class is NumaClass.LOCAL or self._l2_holds_remote
-        if l2_can_hold and self._l2_lookup(line):
-            self.n_l2_hits += 1
-            self._sched(
-                self._l2_hit_latency + self.noc_latency,
-                self._complete_read,
-                line,
-                numa_class,
-            )
-            return
-        self.n_l2_misses += 1
-        if numa_class is NumaClass.LOCAL:
-            done = self._dram_access(self.engine.now, self.line_size)
-            self._sched_at(done, self._local_fill, line)
-        else:
-            self.n_remote_read_requests += 1
-            assert self.switch is not None
-            arrival = self.switch.send(
-                self.engine.now, self.socket_id, home, PacketKind.READ_REQUEST
-            )
-            home_socket = self.switch.links[home].owner
-            self.engine.schedule_at(
-                arrival, home_socket._serve_remote_read, line, self.socket_id
-            )
-
-    def _local_fill(self, line: int) -> None:
-        """DRAM returned a local line: fill L2 and complete waiters."""
-        evicted = self._l2_fill(line, NumaClass.LOCAL)
-        if evicted is not None:
-            self._handle_l2_eviction(evicted)
-        self._sched(self.noc_latency, self._complete_read, line, NumaClass.LOCAL)
-
-    def _serve_remote_read(self, line: int, requester: int) -> None:
-        """Home-side service of a remote read (memory side of this socket)."""
-        self.n_remote_reads_served += 1
-        if self.l2.lookup(line):
-            self.n_l2_hits_for_remote += 1
-            self.engine.schedule(
-                self._l2_hit_latency, self._respond_remote_read, line, requester
-            )
-            return
-        done = self.dram.access(self.engine.now, self.line_size)
-        self.engine.schedule_at(done, self._home_fill_and_respond, line, requester)
-
-    def _home_fill_and_respond(self, line: int, requester: int) -> None:
-        evicted = self.l2.fill(line, NumaClass.LOCAL)
-        self._handle_l2_eviction(evicted)
-        self._respond_remote_read(line, requester)
-
-    def _respond_remote_read(self, line: int, requester: int) -> None:
-        assert self.switch is not None
-        arrival = self.switch.send(
-            self.engine.now, self.socket_id, requester, PacketKind.READ_RESPONSE
-        )
-        requester_socket = self.switch.links[requester].owner
-        self.engine.schedule_at(arrival, requester_socket._remote_read_response, line)
-
-    def _remote_read_response(self, line: int) -> None:
-        """A remote line arrived back at this (requesting) socket."""
-        if self._l2_holds_remote:
-            evicted = self.l2.fill(line, NumaClass.REMOTE)
-            self._handle_l2_eviction(evicted)
-        self._complete_read(line, NumaClass.REMOTE)
-
-    def _complete_read(self, line: int, numa_class: NumaClass) -> None:
-        """Fill waiter L1s and fire their callbacks."""
-        waiters = self._pending_reads.pop(line, None)
-        if not waiters:
-            return
-        if len(waiters) == 1:
-            # Un-coalesced read (the common case): no dedup set needed.
-            sm_index, on_done = waiters[0]
-            self._l1_refills[sm_index](line, numa_class)
-            on_done()
-            return
-        filled_sms: set[int] = set()
-        refills = self._l1_refills
-        for sm_index, on_done in waiters:
-            if sm_index not in filled_sms:
-                refills[sm_index](line, numa_class)
-                filled_sms.add(sm_index)
-            on_done()
-
-    # ------------------------------------------------------------------
-    # write path
-    # ------------------------------------------------------------------
-    def _write_at_l2(
-        self, line: int, home: int, is_local: bool, on_done: OnDone
-    ) -> None:
-        l2_lat = self._l2_hit_latency
-        if is_local:
-            # Home L2 absorbs the write (write-back, allocate-on-write;
-            # stores are assumed full-line coalesced so no fetch happens).
-            if not self._l2_lookup(line, write=True):
-                evicted = self._l2_fill(line, NumaClass.LOCAL, dirty=True)
-                if evicted is not None:
-                    self._handle_l2_eviction(evicted)
-            if self.write_policy is WritePolicy.WRITE_THROUGH:
-                self._dram_access(self.engine.now, self.line_size, write=True)
-            self._sched(l2_lat, on_done)
-            return
-        if self._caches_remote_writes:
-            if not self._l2_lookup(line, write=True):
-                evicted = self._l2_fill(line, NumaClass.REMOTE, dirty=True)
-                if evicted is not None:
-                    self._handle_l2_eviction(evicted)
-            self._sched(l2_lat, on_done)
-            return
-        # Forward the write to its home socket; drop any stale local copy
-        # (write-invalidate keeps the R$ / write-through L2 coherent).
-        if self._l2_holds_remote:
-            self.l2.drop(line)
-        self.n_remote_writes_forwarded += 1
-        assert self.switch is not None
-        arrival = self.switch.send(
-            self.engine.now, self.socket_id, home, PacketKind.WRITE_DATA
-        )
-        home_socket = self.switch.links[home].owner
-        self.engine.schedule_at(
-            arrival, home_socket._absorb_remote_write, line, self.socket_id, on_done
-        )
-
-    def _absorb_remote_write(self, line: int, requester: int, on_done: OnDone) -> None:
-        """Home-side absorption of a forwarded write, then ack."""
-        self.n_remote_writes_absorbed += 1
-        if not self.l2.lookup(line, write=True):
-            evicted = self.l2.fill(line, NumaClass.LOCAL, dirty=True)
-            self._handle_l2_eviction(evicted)
-        if self.write_policy is WritePolicy.WRITE_THROUGH:
-            self.dram.access(self.engine.now, self.line_size, write=True)
-        assert self.switch is not None
-        arrival = self.switch.send(
-            self.engine.now, self.socket_id, requester, PacketKind.WRITE_ACK
-        )
-        self.engine.schedule_at(arrival, on_done)
 
     # ------------------------------------------------------------------
     # evictions and coherence flushes
     # ------------------------------------------------------------------
-    def _handle_l2_eviction(self, evicted: EvictedLine | None) -> None:
-        """Charge write-back traffic for a dirty L2 victim."""
-        if evicted is None or not evicted.dirty:
-            return
-        if evicted.numa_class is NumaClass.LOCAL:
+    def _charge_dirty_eviction(self, packed: int) -> None:
+        """Charge write-back traffic for a dirty L2 victim.
+
+        ``packed`` is the ``(line << 1) | numa_class`` form returned by
+        :meth:`repro.memory.cache.SetAssocCache.fill_fast` for dirty
+        victims (clean victims charge nothing and are never reported).
+        """
+        if packed & 1 == 0:
             self.dram.access(self.engine.now, self.line_size, write=True)
             return
         # Remote dirty victim: write back across the link to its home.
-        home = self._line_home(evicted.line)
+        line = packed >> 1
+        home = self._line_home(line)
         if home == self.socket_id or self.switch is None:
             self.dram.access(self.engine.now, self.line_size, write=True)
             return
         self.n_remote_writebacks += 1
-        arrival = self.switch.send(
-            self.engine.now, self.socket_id, home, PacketKind.WRITEBACK_DATA
+        arrival = self.switch.send_bytes(
+            self.engine.now, self.socket_id, home, DATA_BYTES
         )
         home_socket = self.switch.links[home].owner
-        self.engine.schedule_at(arrival, home_socket._absorb_writeback, evicted.line)
+        self.engine.schedule_at(arrival, home_socket._absorb_writeback, line)
 
     def _line_home(self, line: int) -> int:
         """Home socket of a cache line (translation-cache assisted)."""
@@ -605,18 +552,19 @@ class GpuSocket:
             return self.socket_id
         cached = self._xlate.get(line)
         if cached is not None:
-            return cached[0]
+            return cached
         addr = line * self.line_size
         home, extra = self.page_table.translate(addr, self.socket_id)
         if extra == 0 or not self.page_table.placement.is_first_touch(addr):
-            self._xlate[line] = (home, home == self.socket_id)
+            self._xlate[line] = home
         return home
 
     def _absorb_writeback(self, line: int) -> None:
         """Sink a remote write-back into home memory (fire-and-forget)."""
         if not self.l2.lookup(line, write=True):
-            evicted = self.l2.fill(line, NumaClass.LOCAL, dirty=True)
-            self._handle_l2_eviction(evicted)
+            packed = self.l2.fill_fast(line, 0, True)
+            if packed >= 0:
+                self._charge_dirty_eviction(packed)
 
     def flush_caches(self) -> FlushResult:
         """Kernel-boundary software coherence flush (Section 5.2).
@@ -636,8 +584,8 @@ class GpuSocket:
                 if home == self.socket_id:
                     self.dram.access(now, self.line_size, write=True)
                     continue
-                arrival = self.switch.send(
-                    now, self.socket_id, home, PacketKind.WRITEBACK_DATA
+                arrival = self.switch.send_bytes(
+                    now, self.socket_id, home, DATA_BYTES
                 )
                 home_socket = self.switch.links[home].owner
                 self.engine.schedule_at(arrival, home_socket._absorb_writeback_dram)

@@ -48,18 +48,56 @@ class Switch:
         The packet serializes on the source's egress lanes, then on the
         destination's ingress lanes; each hop pays half the link latency.
         """
+        return self.send_bytes(now, src, dst, packet_bytes(kind))
+
+    def send_bytes(self, now: int, src: int, dst: int, nbytes: int) -> int:
+        """:meth:`send` with a pre-resolved wire size.
+
+        The fused miss pipeline's packet kinds are static per call site,
+        so the walkers pass the byte constant directly — no enum-keyed
+        size lookup per packet. Both link hops are inlined from
+        :meth:`repro.interconnect.link.DuplexLink.transfer` (identical
+        arithmetic and counters; packet sizes are fixed positive
+        constants so the negative-size guard is not needed here).
+        """
         if src == dst:
             raise InterconnectError(f"switch asked to route {src} -> {dst}")
-        nbytes = packet_bytes(kind)
         links = self.links
         src_link = links[src]
         half_latency = src_link.latency // 2
-        at_switch = src_link.transfer(
-            now, Direction.EGRESS, nbytes, latency=half_latency
-        )
-        arrival = links[dst].transfer(
-            at_switch, Direction.INGRESS, nbytes, latency=half_latency
-        )
+        # Egress hop at the source link.
+        if src_link._lanes_egress == 0:
+            src_link._raise_emptied(Direction.EGRESS)
+        res = src_link._res_egress
+        src_link.n_egress_bytes += nbytes
+        src_link.n_egress_packets += 1
+        next_free = res._next_free
+        start = now if now > next_free else next_free
+        duration = nbytes / res._rate
+        next_free = start + duration
+        res._next_free = next_free
+        res._busy_granted += duration
+        res._bytes_total += nbytes
+        res._transfers += 1
+        whole = int(next_free)
+        at_switch = (whole if whole == next_free else whole + 1) + half_latency
+        # Ingress hop at the destination link.
+        dst_link = links[dst]
+        if dst_link._lanes_ingress == 0:
+            dst_link._raise_emptied(Direction.INGRESS)
+        res = dst_link._res_ingress
+        dst_link.n_ingress_bytes += nbytes
+        dst_link.n_ingress_packets += 1
+        next_free = res._next_free
+        start = at_switch if at_switch > next_free else next_free
+        duration = nbytes / res._rate
+        next_free = start + duration
+        res._next_free = next_free
+        res._busy_granted += duration
+        res._bytes_total += nbytes
+        res._transfers += 1
+        whole = int(next_free)
+        arrival = (whole if whole == next_free else whole + 1) + half_latency
         self.n_packets += 1
         self.n_bytes += nbytes
         return arrival

@@ -21,11 +21,21 @@ traffic can be charged by the caller.
 Hot-path notes (see DESIGN.md, "Hot-path architecture"): lookups and
 fills run millions of times per simulation, so internally the class tag
 is a plain int (``NumaClass.value``), quotas live in an int-indexed list
-rather than an enum-keyed dict, victim selection is an explicit
-single-pass loop instead of list comprehensions + ``min(key=lambda)``,
-set indexing uses a precomputed mask when the set count is a power of
-two, and statistics are slotted integer counters flattened into the
-``stats`` :class:`~repro.sim.stats.StatGroup` only when it is read.
+rather than an enum-keyed dict, set indexing uses a precomputed mask when
+the set count is a power of two, and statistics are slotted integer
+counters flattened into the ``stats`` :class:`~repro.sim.stats.StatGroup`
+only when it is read.
+
+Recency is an intrusive per-set linked list rather than timestamp scans:
+every set keeps a circular doubly-linked list of its *valid* frames in
+LRU -> MRU order (a sentinel ``_Way`` is both head and tail). A touch
+moves the frame to the MRU end, so victim selection is O(1) for plain
+LRU and a short walk from the LRU end for the partitioned class-LRU
+scans — no 16-way timestamp pass per fill. This is exactly equivalent to
+the previous global-tick scheme: ticks were strictly increasing and
+unique per touch, so ascending-timestamp order *is* list order, and the
+first-minimal tie-break cannot trigger. Invalid frames are never linked;
+the "first invalid frame in set order" rule keeps its explicit scan.
 """
 
 from __future__ import annotations
@@ -33,7 +43,6 @@ from __future__ import annotations
 import enum
 
 from dataclasses import dataclass
-from operator import attrgetter
 
 from repro.config import CacheConfig
 from repro.errors import CacheError
@@ -69,21 +78,22 @@ class _Way:
     """One line frame: tag + metadata (plain attributes for speed).
 
     ``cls`` holds the int value of the line's :class:`NumaClass` so the
-    victim scan compares ints instead of hashing enum members.
+    victim scan compares ints instead of hashing enum members. ``prev``/
+    ``nxt`` link the frame into its set's recency list while it is valid
+    (stale otherwise — frames are unlinked whenever they invalidate);
+    ``sent`` points at the set's sentinel so a touch can reach the MRU
+    end without recomputing the set index.
     """
 
-    __slots__ = ("line", "cls", "dirty", "last_use")
+    __slots__ = ("line", "cls", "dirty", "prev", "nxt", "sent")
 
     def __init__(self) -> None:
         self.line: int | None = None
         self.cls = 0  # NumaClass.LOCAL.value
         self.dirty = False
-        self.last_use = 0
-
-
-#: C-level key for LRU scans; ``min`` returns the *first* way with the
-#: minimal last_use, matching the explicit loops' first-wins tie-break.
-_LAST_USE = attrgetter("last_use")
+        self.prev: "_Way | None" = None
+        self.nxt: "_Way | None" = None
+        self.sent: "_Way | None" = None
 
 
 class SetAssocCache:
@@ -117,7 +127,7 @@ class SetAssocCache:
         "_set_valid",
         "_set_local",
         "_set_remote",
-        "_tick",
+        "_lru",
         "_stats",
         "partitioned",
         "_quota",
@@ -176,13 +186,14 @@ class SetAssocCache:
             self.n_sets - 1 if self.n_sets & (self.n_sets - 1) == 0 else None
         )
         # Valid frames per set: a full set (the steady state) skips the
-        # invalid-frame scan and finds its LRU victim with a C-level min.
-        # The per-class split (local/remote) gives the partitioned victim
+        # invalid-frame scan and takes the LRU list head in O(1). The
+        # per-class split (local/remote) gives the partitioned victim
         # scan its occupancy test without a counting pass over the set.
         self._set_valid = [0] * self.n_sets
         self._set_local = [0] * self.n_sets
         self._set_remote = [0] * self.n_sets
-        self._tick = 0
+        #: per-set recency-list sentinels (allocated with the set).
+        self._lru: list[_Way | None] = [None] * self.n_sets
         self._stats = StatGroup(name)
         self.n_read_hits = 0
         self.n_read_misses = 0
@@ -247,7 +258,6 @@ class SetAssocCache:
         lazy-eviction rule), so a line filled under an old quota still
         hits after repartitioning.
         """
-        self._tick += 1
         way = self._where.get(line)
         if way is None:
             if write:
@@ -255,7 +265,18 @@ class SetAssocCache:
             else:
                 self.n_read_misses += 1
             return False
-        way.last_use = self._tick
+        sent = way.sent
+        if way.nxt is not sent:
+            # Move to the MRU end (no-op when already most recent).
+            p = way.prev
+            n = way.nxt
+            p.nxt = n
+            n.prev = p
+            p = sent.prev
+            p.nxt = way
+            way.prev = p
+            way.nxt = sent
+            sent.prev = way
         if write:
             if not self.write_through:
                 way.dirty = True
@@ -279,11 +300,10 @@ class SetAssocCache:
         whichever class exceeds its quota, then the global LRU. This
         implements lazy repartitioning.
         """
-        self._tick += 1
         where = self._where
         existing = where.get(line)
         if existing is not None:
-            existing.last_use = self._tick
+            self._touch(existing)
             existing.dirty = existing.dirty or dirty
             return None
         # `is` avoids the enum's DynamicClassAttribute descriptor on .value.
@@ -292,13 +312,18 @@ class SetAssocCache:
         set_idx = line & mask if mask is not None else line % self.n_sets
         cache_set = self._sets[set_idx]
         if cache_set is None:
-            cache_set = self._sets[set_idx] = [_Way() for _ in range(self.n_ways)]
+            cache_set = self._alloc_set(set_idx)
         victim = self._choose_victim(cache_set, set_idx, cls)
         evicted: EvictedLine | None = None
-        if victim.line is not None:
-            del where[victim.line]
+        vline = victim.line
+        if vline is not None:
+            del where[vline]
+            p = victim.prev
+            n = victim.nxt
+            p.nxt = n
+            n.prev = p
             evicted = EvictedLine(
-                victim.line, _CLASS_BY_VALUE[victim.cls], victim.dirty
+                vline, _CLASS_BY_VALUE[victim.cls], victim.dirty
             )
             self.n_evictions += 1
             if victim.dirty:
@@ -312,10 +337,85 @@ class SetAssocCache:
         victim.line = line
         victim.cls = cls
         victim.dirty = dirty
-        victim.last_use = self._tick
+        sent = victim.sent
+        p = sent.prev
+        p.nxt = victim
+        victim.prev = p
+        victim.nxt = sent
+        sent.prev = victim
         where[line] = victim
         self.n_fills += 1
         return evicted
+
+    def fill_fast(self, line: int, cls: int, dirty: bool = False) -> int:
+        """:meth:`fill` with an int class tag and a packed-victim return.
+
+        The fused miss pipeline (:mod:`repro.sim.path`) only ever needs a
+        victim when it was *dirty* — clean victims charge no write-back
+        traffic — so this variant skips the :class:`EvictedLine`
+        allocation entirely and returns ``-1`` unless a dirty line was
+        evicted, in which case it returns ``(victim_line << 1) |
+        victim_class``. State mutations and counters are identical to
+        ``fill(line, numa_class, dirty)``.
+        """
+        where = self._where
+        existing = where.get(line)
+        if existing is not None:
+            self._touch(existing)
+            existing.dirty = existing.dirty or dirty
+            return -1
+        mask = self._set_mask
+        set_idx = line & mask if mask is not None else line % self.n_sets
+        cache_set = self._sets[set_idx]
+        if cache_set is None:
+            cache_set = self._alloc_set(set_idx)
+        # Hot victim cases inlined from _choose_victim: a full
+        # unpartitioned set takes the LRU head; a partitioned set whose
+        # incoming class is at/over quota takes that class's LRU frame.
+        if self.partitioned:
+            count_own = (
+                self._set_remote[set_idx] if cls else self._set_local[set_idx]
+            )
+            if count_own >= self._quota[cls]:
+                victim = self._lru[set_idx].nxt
+                while victim.cls != cls:
+                    victim = victim.nxt
+            else:
+                victim = self._choose_victim(cache_set, set_idx, cls)
+        elif self._set_valid[set_idx] == self.n_ways:
+            victim = self._lru[set_idx].nxt
+        else:
+            victim = self._choose_victim(cache_set, set_idx, cls)
+        packed = -1
+        vline = victim.line
+        if vline is not None:
+            del where[vline]
+            p = victim.prev
+            n = victim.nxt
+            p.nxt = n
+            n.prev = p
+            self.n_evictions += 1
+            if victim.dirty:
+                self.n_dirty_evictions += 1
+                packed = (vline << 1) | victim.cls
+            if self.partitioned and victim.cls != cls:
+                self._retag_set_counts(set_idx, victim.cls, cls)
+        else:
+            self._set_valid[set_idx] += 1
+            if self.partitioned:
+                self._retag_set_counts(set_idx, None, cls)
+        victim.line = line
+        victim.cls = cls
+        victim.dirty = dirty
+        sent = victim.sent
+        p = sent.prev
+        p.nxt = victim
+        victim.prev = p
+        victim.nxt = sent
+        sent.prev = victim
+        where[line] = victim
+        self.n_fills += 1
+        return packed
 
     def refill(self, line: int, numa_class: NumaClass) -> None:
         """:meth:`fill` minus victim reporting, for clean refills.
@@ -326,21 +426,39 @@ class SetAssocCache:
         State mutations and counters are identical to
         ``fill(line, numa_class)``.
         """
-        self._tick += 1
         where = self._where
         existing = where.get(line)
         if existing is not None:
-            existing.last_use = self._tick
+            self._touch(existing)
             return
         cls = 1 if numa_class is NumaClass.REMOTE else 0
         mask = self._set_mask
         set_idx = line & mask if mask is not None else line % self.n_sets
         cache_set = self._sets[set_idx]
         if cache_set is None:
-            cache_set = self._sets[set_idx] = [_Way() for _ in range(self.n_ways)]
-        victim = self._choose_victim(cache_set, set_idx, cls)
-        if victim.line is not None:
-            del where[victim.line]
+            cache_set = self._alloc_set(set_idx)
+        # Hot victim cases inlined (see fill_fast).
+        if self.partitioned:
+            count_own = (
+                self._set_remote[set_idx] if cls else self._set_local[set_idx]
+            )
+            if count_own >= self._quota[cls]:
+                victim = self._lru[set_idx].nxt
+                while victim.cls != cls:
+                    victim = victim.nxt
+            else:
+                victim = self._choose_victim(cache_set, set_idx, cls)
+        elif self._set_valid[set_idx] == self.n_ways:
+            victim = self._lru[set_idx].nxt
+        else:
+            victim = self._choose_victim(cache_set, set_idx, cls)
+        vline = victim.line
+        if vline is not None:
+            del where[vline]
+            p = victim.prev
+            n = victim.nxt
+            p.nxt = n
+            n.prev = p
             self.n_evictions += 1
             if victim.dirty:
                 self.n_dirty_evictions += 1
@@ -353,9 +471,44 @@ class SetAssocCache:
         victim.line = line
         victim.cls = cls
         victim.dirty = False
-        victim.last_use = self._tick
+        sent = victim.sent
+        p = sent.prev
+        p.nxt = victim
+        victim.prev = p
+        victim.nxt = sent
+        sent.prev = victim
         where[line] = victim
         self.n_fills += 1
+
+    # ------------------------------------------------------------------
+    # recency-list plumbing
+    # ------------------------------------------------------------------
+    def _alloc_set(self, set_idx: int) -> list[_Way]:
+        """Lazily allocate one set's frames and recency sentinel."""
+        cache_set = self._sets[set_idx] = [_Way() for _ in range(self.n_ways)]
+        sent = _Way()
+        sent.cls = -1  # never matches a class-LRU walk
+        sent.prev = sent
+        sent.nxt = sent
+        self._lru[set_idx] = sent
+        for way in cache_set:
+            way.sent = sent
+        return cache_set
+
+    def _touch(self, way: _Way) -> None:
+        """Move a valid frame to the MRU end of its set's recency list."""
+        sent = way.sent
+        if way.nxt is sent:
+            return
+        p = way.prev
+        n = way.nxt
+        p.nxt = n
+        n.prev = p
+        p = sent.prev
+        p.nxt = way
+        way.prev = p
+        way.nxt = sent
+        sent.prev = way
 
     def _retag_set_counts(self, set_idx: int, old_cls: int | None, new_cls: int) -> None:
         """Move one frame between the per-set class-occupancy counters."""
@@ -394,19 +547,20 @@ class SetAssocCache:
     def _choose_victim(self, cache_set: list[_Way], set_idx: int, incoming: int) -> _Way:
         """Pick the frame to replace for an incoming line of class ``incoming``.
 
-        The unpartitioned steady state (set full) is a pure LRU min over
-        the set, done at C speed; otherwise one explicit pass gathers
-        everything the decision needs (first invalid frame, per-class
-        occupancy, per-class and global LRU). Ties on ``last_use``
-        resolve to the first way in set order in both shapes.
+        The recency list makes the steady state O(1): a full
+        unpartitioned set evicts the list head (the LRU frame); the
+        partitioned scans walk from the LRU end and stop at the first
+        frame of the wanted class (only valid frames are linked, so no
+        validity test is needed mid-walk). Equivalent to the historical
+        ascending-timestamp scans — see the module docstring.
         """
         if not self.partitioned:
             if self._set_valid[set_idx] == self.n_ways:
-                return min(cache_set, key=_LAST_USE)
+                return self._lru[set_idx].nxt
             for way in cache_set:
                 if way.line is None:
                     return way
-            return min(cache_set, key=_LAST_USE)  # pragma: no cover - guard
+            return self._lru[set_idx].nxt  # pragma: no cover - guard
         if incoming:
             count_own = self._set_remote[set_idx]
             count_other = self._set_local[set_idx]
@@ -414,16 +568,12 @@ class SetAssocCache:
             count_own = self._set_local[set_idx]
             count_other = self._set_remote[set_idx]
         if count_own >= self._quota[incoming]:
-            # LRU among valid ways of the incoming class.
-            best = None
-            best_use = None
-            for way in cache_set:
-                if way.cls == incoming and way.line is not None:
-                    use = way.last_use
-                    if best_use is None or use < best_use:
-                        best = way
-                        best_use = use
-            return best  # type: ignore[return-value]
+            # LRU frame of the incoming class (walk from the LRU end;
+            # occupancy >= quota >= 1 guarantees a match).
+            way = self._lru[set_idx].nxt
+            while way.cls != incoming:
+                way = way.nxt
+            return way
         if self._set_valid[set_idx] < self.n_ways:
             for way in cache_set:
                 if way.line is None:
@@ -431,17 +581,12 @@ class SetAssocCache:
         other = 1 - incoming
         if count_other > self._quota[other]:
             # The set is full here (no invalid frame was found above), so
-            # every way is valid and the class test alone suffices.
-            best = None
-            best_use = None
-            for way in cache_set:
-                if way.cls == other:
-                    use = way.last_use
-                    if best_use is None or use < best_use:
-                        best = way
-                        best_use = use
-            return best  # type: ignore[return-value]
-        return min(cache_set, key=_LAST_USE)
+            # every way is linked and the class test alone suffices.
+            way = self._lru[set_idx].nxt
+            while way.cls != other:
+                way = way.nxt
+            return way
+        return self._lru[set_idx].nxt
 
     # ------------------------------------------------------------------
     # invalidation / write-back
@@ -454,8 +599,12 @@ class SetAssocCache:
         """
         dirty: list[EvictedLine] = []
         count = 0
-        for cache_set in self._sets:
-            if cache_set is None:
+        set_valid = self._set_valid
+        lru = self._lru
+        for set_idx, cache_set in enumerate(self._sets):
+            # Skipped sets hold no valid line and mutate nothing, so the
+            # dirty list keeps its exact set-order traversal.
+            if cache_set is None or not set_valid[set_idx]:
                 continue
             for way in cache_set:
                 if way.line is None:
@@ -467,6 +616,9 @@ class SetAssocCache:
                     )
                 way.line = None
                 way.dirty = False
+            sent = lru[set_idx]
+            sent.prev = sent
+            sent.nxt = sent
         self._where.clear()
         self._set_valid = [0] * self.n_sets
         self._set_local = [0] * self.n_sets
@@ -487,6 +639,10 @@ class SetAssocCache:
             return False
         way.line = None
         way.dirty = False
+        p = way.prev
+        n = way.nxt
+        p.nxt = n
+        n.prev = p
         mask = self._set_mask
         set_idx = line & mask if mask is not None else line % self.n_sets
         self._set_valid[set_idx] -= 1
@@ -505,7 +661,7 @@ class SetAssocCache:
         count = 0
         set_valid = self._set_valid
         for set_idx, cache_set in enumerate(self._sets):
-            if cache_set is None:
+            if cache_set is None or not set_valid[set_idx]:
                 continue
             for way in cache_set:
                 if way.line is None or way.cls != cls:
@@ -516,6 +672,10 @@ class SetAssocCache:
                 del self._where[way.line]
                 way.line = None
                 way.dirty = False
+                p = way.prev
+                n = way.nxt
+                p.nxt = n
+                n.prev = p
                 set_valid[set_idx] -= 1
                 if self.partitioned:
                     if cls:

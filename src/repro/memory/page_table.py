@@ -7,7 +7,7 @@ system memory into the toucher's local DRAM (Section 3).
 
 Translation caching
 -------------------
-Every socket keeps a private ``line -> (home, is_local)`` dict (see
+Every socket keeps a private ``line -> home_socket`` dict (see
 :meth:`repro.gpu.socket.GpuSocket.access`) so the common steady-state
 access skips :meth:`translate` entirely — after the first touch of a page
 its home never moves on its own, and interleaved policies are pure
@@ -20,9 +20,11 @@ that page across all sockets.
 
 from __future__ import annotations
 
-from repro.config import SystemConfig
+from repro.config import PlacementPolicy, SystemConfig
 from repro.memory.placement import Placement
 from repro.sim.stats import StatGroup, flatten_slots
+
+_FIRST_TOUCH = PlacementPolicy.FIRST_TOUCH
 
 
 class PageTable:
@@ -54,7 +56,7 @@ class PageTable:
         self.n_translations = 0
         self.n_translation_invalidations = 0
         #: line-granular translation caches registered by the sockets.
-        self._line_caches: list[dict[int, tuple[int, bool]]] = []
+        self._line_caches: list[dict[int, int]] = []
         self._lines_per_page = max(1, config.page_size // config.gpu.l2.line_size)
 
     @property
@@ -68,20 +70,43 @@ class PageTable:
         ``extra_latency`` is nonzero only on the first touch of a page
         under the FIRST_TOUCH policy, representing the on-demand page copy
         from system memory.
+
+        (Hot path: runs on every translation-cache miss, so the
+        first-touch probe and the home lookup are fused into a single
+        page computation and dict probe instead of chaining
+        ``Placement.is_first_touch`` + ``Placement.home_socket`` — the
+        counters and claim side effects are identical.)
         """
+        placement = self.placement
+        if placement.policy is _FIRST_TOUCH and placement.n_sockets > 1:
+            # On one socket, home_socket() returns 0 *without* claiming
+            # the page, so every access stays a billed first touch — the
+            # fused path must not claim either; it applies only to real
+            # NUMA systems.
+            if accessor < 0 or accessor >= placement.n_sockets:
+                placement.home_socket(addr, accessor)  # canonical range error
+            page = addr // placement.page_size
+            home = placement._page_home.get(page)
+            self.n_translations += 1
+            if home is None:
+                self.n_faults += 1
+                placement._page_home[page] = accessor
+                placement.stats.add("migrations")
+                return accessor, self.migration_latency
+            return home, 0
         extra = 0
-        if self.placement.is_first_touch(addr):
+        if placement.is_first_touch(addr):
             extra = self.migration_latency
             self.n_faults += 1
-        home = self.placement.home_socket(addr, accessor)
+        home = placement.home_socket(addr, accessor)
         self.n_translations += 1
         return home, extra
 
     # ------------------------------------------------------------------
     # translation-cache registry
     # ------------------------------------------------------------------
-    def register_line_cache(self, cache: dict[int, tuple[int, bool]]) -> None:
-        """Register one socket's ``line -> (home, is_local)`` cache.
+    def register_line_cache(self, cache: dict[int, int]) -> None:
+        """Register one socket's ``line -> home_socket`` cache.
 
         The page table never fills these (sockets do, on their own access
         paths); registration only lets :meth:`invalidate_page` find them.

@@ -11,16 +11,31 @@ callback or routes through a :class:`repro.sim.resource.BandwidthResource`.
 
 The dispatch loop is the single hottest frame of every simulation, so the
 queue is a *bucket queue* rather than one big binary heap: a dict maps
-each pending timestamp to a FIFO list of ``(callback, args)`` pairs, and
-a small heap orders only the distinct timestamps. Scheduling an event at
-an already-pending time is a dict probe plus a list append (no O(log n)
-sift), and draining a timestamp walks its bucket with no per-event heap
-traffic — the batched same-timestamp drain. The execution order is
-identical to the classic ``(time, seq)`` heap: ascending time, FIFO
-within a time, including events appended to the *current* timestamp
-mid-drain. :meth:`Engine.run` additionally splits into a fast path for
-the common unbounded call and a guarded loop for ``until``/``max_events``
-runs; both drain in the same order.
+each pending timestamp to a FIFO list of entries, and a small heap orders
+only the distinct timestamps. Scheduling an event at an already-pending
+time is a dict probe plus a list append (no O(log n) sift), and draining
+a timestamp walks its bucket with no per-event heap traffic — the batched
+same-timestamp drain. The execution order is identical to the classic
+``(time, seq)`` heap: ascending time, FIFO within a time, including
+events appended to the *current* timestamp mid-drain. :meth:`Engine.run`
+additionally splits into a fast path for the common unbounded call and a
+guarded loop for ``until``/``max_events`` runs; both drain in the same
+order.
+
+Bucket entries come in two shapes (the fused miss pipeline relies on the
+second):
+
+* ``(callback, args)`` tuples — the classic form built by
+  :meth:`schedule` / :meth:`schedule_at`;
+* bare zero-argument callables — appended by :meth:`schedule_call` /
+  :meth:`schedule_call_at`. The dispatch loop invokes them directly with
+  no tuple allocation at schedule time and no argument unpacking at
+  dispatch time. The per-hop steps of :mod:`repro.sim.path` walkers and
+  every ``on_done`` completion callback use this form.
+
+``pending_events`` is O(1): the engine maintains a running count —
+incremented on every schedule, decremented when events execute — instead
+of summing bucket lengths on each read.
 """
 
 from __future__ import annotations
@@ -49,17 +64,26 @@ class Engine:
     5
     """
 
-    __slots__ = ("_buckets", "_times", "now", "_events_processed", "_running")
+    __slots__ = (
+        "_buckets",
+        "_times",
+        "now",
+        "_events_processed",
+        "_pending",
+        "_running",
+    )
 
     def __init__(self) -> None:
-        #: pending events: timestamp -> FIFO of (callback, args).
-        self._buckets: dict[int, list[tuple[Callback, tuple[Any, ...]]]] = {}
+        #: pending events: timestamp -> FIFO of entries (see module doc).
+        self._buckets: dict[int, list] = {}
         #: heap of the distinct timestamps present in ``_buckets``.
         self._times: list[int] = []
         #: current simulation time in cycles. Public for cheap reads on
         #: hot paths; only the engine itself should ever write it.
         self.now: int = 0
         self._events_processed: int = 0
+        #: running count of queued events (O(1) ``pending_events``).
+        self._pending: int = 0
         self._running: bool = False
 
     @property
@@ -69,8 +93,8 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events waiting in the queue."""
-        return sum(len(bucket) for bucket in self._buckets.values())
+        """Number of events waiting in the queue (O(1): running count)."""
+        return self._pending
 
     def schedule(self, delay: int, callback: Callback, *args: Any) -> None:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
@@ -83,6 +107,7 @@ class Engine:
             heapq.heappush(self._times, time)
         else:
             bucket.append((callback, args))
+        self._pending += 1
 
     def schedule_at(self, time: int, callback: Callback, *args: Any) -> None:
         """Schedule ``callback(*args)`` at an absolute cycle ``time``."""
@@ -97,6 +122,40 @@ class Engine:
             heapq.heappush(self._times, time)
         else:
             bucket.append((callback, args))
+        self._pending += 1
+
+    def schedule_call(self, delay: int, fn: Callable[[], None]) -> None:
+        """Schedule a zero-argument callable ``delay`` cycles from now.
+
+        Fast-path form of :meth:`schedule`: the callable is appended to
+        the bucket directly, so no ``(callback, args)`` tuple is built
+        and the dispatch loop calls it without unpacking.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay} for {fn!r}")
+        time = self.now + int(delay)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [fn]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(fn)
+        self._pending += 1
+
+    def schedule_call_at(self, time: int, fn: Callable[[], None]) -> None:
+        """Schedule a zero-argument callable at an absolute cycle ``time``."""
+        time = int(time)
+        if time < self.now:
+            raise SchedulingError(
+                f"event at t={time} is in the past (now={self.now})"
+            )
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [fn]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(fn)
+        self._pending += 1
 
     def run(self, until: int | None = None, max_events: int | None = None) -> int:
         """Drain the event queue.
@@ -141,11 +200,16 @@ class Engine:
                                 f"exceeded max_events={max_events}; "
                                 "simulation appears livelocked"
                             )
-                        callback, args = bucket[consumed]
+                        entry = bucket[consumed]
                         consumed += 1
-                        callback(*args)
+                        if type(entry) is tuple:
+                            callback, args = entry
+                            callback(*args)
+                        else:
+                            entry()
                         events_this_run += 1
                         self._events_processed += 1
+                        self._pending -= 1
                 finally:
                     if consumed < len(bucket):
                         # Interrupted mid-bucket (budget exhausted or a
@@ -180,21 +244,38 @@ class Engine:
         try:
             while times:
                 time = pop(times)
-                bucket = buckets[time]
+                bucket = buckets.pop(time)
                 self.now = time
-                # List iterators are index-based, so events appended to
-                # this bucket mid-drain are picked up in FIFO order — the
-                # exact (time, seq) order of a classic event heap. If a
-                # callback raises, the whole bucket is kept (the engine's
-                # queue is not resumable after a model exception).
+                # The bucket is detached up front (one dict op instead of
+                # a fetch + delete). An event appended to the *current*
+                # timestamp mid-drain therefore opens a fresh bucket and
+                # re-pushes `time`; that bucket is drained immediately
+                # after this one, preserving exact FIFO order within the
+                # timestamp (pinned by
+                # test_pending_events_counts_mid_drain_appends).
                 try:
-                    for callback, args in bucket:
-                        callback(*args)
+                    for entry in bucket:
+                        if type(entry) is tuple:
+                            callback, args = entry
+                            callback(*args)
+                        else:
+                            entry()
                 except BaseException:
-                    heapq.heappush(times, time)
+                    # Keep the whole bucket queued (the engine's queue is
+                    # not resumable after a model exception, but pending
+                    # accounting and peek_time stay consistent). If a
+                    # callback re-opened this timestamp, merge — `time`
+                    # is then already back in the heap.
+                    reopened = buckets.get(time)
+                    if reopened is None:
+                        buckets[time] = bucket
+                        heapq.heappush(times, time)
+                    else:
+                        buckets[time] = bucket + reopened
                     raise
-                events += len(bucket)
-                del buckets[time]
+                n = len(bucket)
+                events += n
+                self._pending -= n
         finally:
             self._events_processed += events
             self._running = False

@@ -1,0 +1,587 @@
+"""Fused miss-path pipeline: pooled walkers for the memory-path hops.
+
+Before this module, every L1 miss traversed the memory hierarchy as a
+chain of independently scheduled callbacks — NoC hop -> L2 lookup -> link
+crossing -> remote L2/DRAM -> reply hop — each paying the generic
+``(callback, args)`` scheduling cost: an args tuple and a bound method
+allocated per hop, argument re-packing and unpacking at dispatch, and a
+fresh walk of the socket's attribute chains in every handler.
+
+A :class:`ReadPath` / :class:`WritePath` *walker* replaces that chain.
+One pooled object carries the whole miss (line, NUMA class, home socket,
+quoted completion time) from issue to completion; each hop is a prebound
+zero-argument stage method appended directly into the engine's time
+bucket — no tuples, no per-hop allocation (walkers are recycled through a
+per-socket free list) — and the stage bodies inline the cache probes and
+closed-form bandwidth arithmetic, with every issuer-side invariant (the
+L2, its ``_where.get`` / ``fill_fast`` bound methods, latencies, the
+eviction-charge helper) cached on the walker at construction.
+
+Determinism contract (see DESIGN.md, "Fused miss pipeline")
+-----------------------------------------------------------
+The walker is required to be bit-identical to the stepwise chain it
+replaced, which pins three rules:
+
+1. **No state op moves in time.** Every shared-state mutation — cache
+   probe/fill, MSHR update, FIFO-resource admission, waiter callback —
+   executes at exactly the cycle the stepwise chain performed it, as an
+   engine event in the same bucket position. Hop fusion only ever spans
+   *pure latency* (NoC propagation, L2 hit latency, link propagation),
+   never an admission or probe point.
+2. **Quotes never outrun admissions.** A path's future times are quoted
+   closed-form only once every resource along the quoted span has been
+   admitted: a local miss quotes ``t_complete = dram_done + noc_latency``
+   *at the DRAM admission*, whose completion is fixed at admission for a
+   work-conserving FIFO server (``BandwidthResource`` completion depends
+   only on state at admission). Rate changes by the Section 4 lane
+   balancer or the Section 5 cache partitioner therefore cannot
+   invalidate a quote — ``set_rate`` only affects *later* admissions, and
+   no quote spans an admission the walker has not yet performed. The
+   stepwise fallback the quote layer would otherwise need reduces to
+   this stronger structural guarantee.
+3. **Stats inline.** Slotted counters are updated inside the stage
+   bodies at the same points the stepwise handlers updated them (they
+   are order-insensitive sums, but keeping the points identical makes
+   the equivalence argument purely mechanical).
+
+Stage map (stepwise handler -> walker stage, one engine event each):
+
+====================================  ==========================
+``GpuSocket._read_at_l2``             ``ReadPath.st_l2``
+``GpuSocket._local_fill``             ``ReadPath.st_fill_local``
+``GpuSocket._serve_remote_read``      ``ReadPath.st_serve``
+``GpuSocket._home_fill_and_respond``  ``ReadPath.st_fill_respond``
+``GpuSocket._respond_remote_read``    ``ReadPath.st_respond``
+``GpuSocket._remote_read_response``   ``ReadPath.st_reply``
+``GpuSocket._complete_read``          inline tail of the last hop
+``GpuSocket._write_at_l2``            ``WritePath.st_l2``
+``GpuSocket._absorb_remote_write``    ``WritePath.st_absorb``
+====================================  ==========================
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+
+from repro.interconnect.packets import CONTROL_BYTES, DATA_BYTES
+from repro.memory.cache import NumaClass
+
+#: NumaClass instances indexed by the walkers' int class tag.
+_CLASSES = (NumaClass.LOCAL, NumaClass.REMOTE)
+
+#: Int class tags (0 = local, 1 = remote) used throughout the pipeline.
+CLS_LOCAL = 0
+CLS_REMOTE = 1
+
+
+class ReadPath:
+    """One in-flight read miss walking the memory path.
+
+    Acquired from the issuing socket's pool in ``access_burst`` (one per
+    outstanding *distinct* line — coalesced readers piggyback on the
+    socket MSHR and are completed by this walker's final stage), released
+    back to the pool when the fill returns to the L1s.
+    """
+
+    __slots__ = (
+        "pool",
+        "socket",
+        "engine",
+        "buckets",
+        "times",
+        # Issuer-side invariants cached at construction (the pool is
+        # per-socket, so these never change over the walker's lifetime).
+        "socket_id",
+        "line_size",
+        "l2",
+        "l2_get",
+        "l2_fill",
+        "dram",
+        "switch",
+        "links",
+        "noc_latency",
+        "hit_tail",
+        "holds_remote",
+        "charge",
+        "pending_pop",
+        "refills",
+        # Per-miss state.
+        "line",
+        "cls",
+        "home_id",
+        "home",
+        "t_complete",
+        # Prebound stages.
+        "st_l2",
+        "st_fill_local",
+        "st_serve",
+        "st_fill_respond",
+        "st_respond",
+        "st_reply",
+        "st_complete",
+    )
+
+    def __init__(self, socket, pool: list) -> None:
+        self.pool = pool
+        self.socket = socket
+        engine = socket.engine
+        self.engine = engine
+        self.buckets = engine._buckets
+        self.times = engine._times
+        self.socket_id = socket.socket_id
+        self.line_size = socket.line_size
+        self.l2 = socket.l2
+        self.l2_get = socket.l2._where.get
+        self.l2_fill = socket.l2.fill_fast
+        self.dram = socket.dram
+        self.switch = socket.switch
+        self.links = socket.switch.links if socket.switch is not None else None
+        self.noc_latency = socket.noc_latency
+        #: quoted pure-latency tail of an L2 hit (hit latency + NoC hop).
+        self.hit_tail = socket._l2_hit_latency + socket.noc_latency
+        self.holds_remote = socket._l2_holds_remote
+        self.charge = socket._charge_dirty_eviction
+        self.pending_pop = socket._pending_pop
+        self.refills = socket._l1_refills
+        self.line = 0
+        self.cls = CLS_LOCAL
+        self.home_id = 0
+        self.home = None
+        self.t_complete = 0
+        # Stage methods prebound once; scheduling a hop is then a plain
+        # attribute load + bucket append (no per-hop bound-method alloc).
+        self.st_l2 = self._stage_l2
+        self.st_fill_local = self._stage_fill_local
+        self.st_serve = self._stage_serve
+        self.st_fill_respond = self._stage_fill_respond
+        self.st_respond = self._stage_respond
+        self.st_reply = self._stage_reply
+        self.st_complete = self._stage_complete
+
+    # ------------------------------------------------------------------
+    # stages (each runs as one engine event, at its exact stepwise time)
+    # ------------------------------------------------------------------
+    def _stage_l2(self) -> None:
+        """Requester-side L2 probe (stepwise ``_read_at_l2``)."""
+        s = self.socket
+        line = self.line
+        cls = self.cls
+        engine = self.engine
+        if cls == 0 or self.holds_remote:
+            # Inlined SetAssocCache.lookup (read probe): recency-list
+            # touch, hit/miss counters — identical to lookup(line).
+            way = self.l2_get(line)
+            if way is not None:
+                sent = way.sent
+                if way.nxt is not sent:
+                    p = way.prev
+                    n = way.nxt
+                    p.nxt = n
+                    n.prev = p
+                    p = sent.prev
+                    p.nxt = way
+                    way.prev = p
+                    way.nxt = sent
+                    sent.prev = way
+                self.l2.n_read_hits += 1
+                s.n_l2_hits += 1
+                # Quote: pure-latency tail (L2 hit + NoC reply hop).
+                # Inlined Engine.schedule_call (bucket append).
+                t = engine.now + self.hit_tail
+                buckets = self.buckets
+                bucket = buckets.get(t)
+                if bucket is None:
+                    buckets[t] = [self.st_complete]
+                    heappush(self.times, t)
+                else:
+                    bucket.append(self.st_complete)
+                engine._pending += 1
+                return
+            self.l2.n_read_misses += 1
+        s.n_l2_misses += 1
+        if cls == 0:
+            # Quote the rest of the local path at the DRAM admission:
+            # completion is closed-form once the FIFO server admits
+            # (inlined DramChannel.access — identical arithmetic).
+            dram = self.dram
+            res = dram.resource
+            nbytes = self.line_size
+            next_free = res._next_free
+            now = engine.now
+            start = now if now > next_free else next_free
+            duration = nbytes / res._rate
+            next_free = start + duration
+            res._next_free = next_free
+            res._busy_granted += duration
+            res._bytes_total += nbytes
+            res._transfers += 1
+            dram.n_reads += 1
+            dram.n_bytes += nbytes
+            whole = int(next_free)
+            done = (whole if whole == next_free else whole + 1) + dram.latency
+            self.t_complete = done + self.noc_latency
+            buckets = self.buckets
+            bucket = buckets.get(done)
+            if bucket is None:
+                buckets[done] = [self.st_fill_local]
+                heappush(self.times, done)
+            else:
+                bucket.append(self.st_fill_local)
+            engine._pending += 1
+            return
+        s.n_remote_read_requests += 1
+        arrival = self.switch.send_bytes(
+            engine.now, self.socket_id, self.home_id, CONTROL_BYTES
+        )
+        self.home = self.links[self.home_id].owner
+        buckets = self.buckets
+        bucket = buckets.get(arrival)
+        if bucket is None:
+            buckets[arrival] = [self.st_serve]
+            heappush(self.times, arrival)
+        else:
+            bucket.append(self.st_serve)
+        engine._pending += 1
+
+    def _stage_fill_local(self) -> None:
+        """DRAM returned a local line (stepwise ``_local_fill``)."""
+        packed = self.l2_fill(self.line, 0)
+        if packed >= 0:
+            self.charge(packed)
+        t = self.t_complete
+        buckets = self.buckets
+        bucket = buckets.get(t)
+        if bucket is None:
+            buckets[t] = [self.st_complete]
+            heappush(self.times, t)
+        else:
+            bucket.append(self.st_complete)
+        self.engine._pending += 1
+
+    def _stage_serve(self) -> None:
+        """Home-side service of the request (stepwise ``_serve_remote_read``)."""
+        h = self.home
+        h.n_remote_reads_served += 1
+        # Inlined h.l2.lookup(line) — read probe, identical counters.
+        l2 = h.l2
+        way = l2._where.get(self.line)
+        if way is not None:
+            sent = way.sent
+            if way.nxt is not sent:
+                p = way.prev
+                n = way.nxt
+                p.nxt = n
+                n.prev = p
+                p = sent.prev
+                p.nxt = way
+                way.prev = p
+                way.nxt = sent
+                sent.prev = way
+            l2.n_read_hits += 1
+            h.n_l2_hits_for_remote += 1
+            engine = self.engine
+            t = engine.now + h._l2_hit_latency
+            buckets = self.buckets
+            bucket = buckets.get(t)
+            if bucket is None:
+                buckets[t] = [self.st_respond]
+                heappush(self.times, t)
+            else:
+                bucket.append(self.st_respond)
+            engine._pending += 1
+            return
+        l2.n_read_misses += 1
+        engine = self.engine
+        # Inlined DramChannel.access — identical arithmetic.
+        dram = h.dram
+        res = dram.resource
+        nbytes = h.line_size
+        next_free = res._next_free
+        now = engine.now
+        start = now if now > next_free else next_free
+        duration = nbytes / res._rate
+        next_free = start + duration
+        res._next_free = next_free
+        res._busy_granted += duration
+        res._bytes_total += nbytes
+        res._transfers += 1
+        dram.n_reads += 1
+        dram.n_bytes += nbytes
+        whole = int(next_free)
+        done = (whole if whole == next_free else whole + 1) + dram.latency
+        buckets = self.buckets
+        bucket = buckets.get(done)
+        if bucket is None:
+            buckets[done] = [self.st_fill_respond]
+            heappush(self.times, done)
+        else:
+            bucket.append(self.st_fill_respond)
+        engine._pending += 1
+
+    def _stage_fill_respond(self) -> None:
+        """Home DRAM fill + response (stepwise ``_home_fill_and_respond``)."""
+        h = self.home
+        packed = h.l2.fill_fast(self.line, 0)
+        if packed >= 0:
+            h._charge_dirty_eviction(packed)
+        self._respond()
+
+    def _stage_respond(self) -> None:
+        """Home L2 hit response hop (stepwise ``_respond_remote_read``)."""
+        self._respond()
+
+    def _respond(self) -> None:
+        h = self.home
+        engine = self.engine
+        arrival = h.switch.send_bytes(
+            engine.now, h.socket_id, self.socket_id, DATA_BYTES
+        )
+        buckets = self.buckets
+        bucket = buckets.get(arrival)
+        if bucket is None:
+            buckets[arrival] = [self.st_reply]
+            heappush(self.times, arrival)
+        else:
+            bucket.append(self.st_reply)
+        engine._pending += 1
+
+    def _stage_reply(self) -> None:
+        """Response back at the requester (stepwise ``_remote_read_response``)."""
+        if self.holds_remote:
+            packed = self.l2_fill(self.line, 1)
+            if packed >= 0:
+                self.charge(packed)
+        self._stage_complete()
+
+    def _stage_complete(self) -> None:
+        """Fill waiter L1s and fire callbacks (stepwise ``_complete_read``)."""
+        line = self.line
+        cls = self.cls
+        waiters = self.pending_pop(line, None)
+        refills = self.refills
+        # Release before running callbacks: completions can issue new
+        # misses that re-acquire this walker; all fields are in locals.
+        self.pool.append(self)
+        if waiters is None:
+            return
+        numa_class = _CLASSES[cls]
+        if type(waiters) is tuple:
+            # Un-coalesced read (the common case): no dedup set needed.
+            sm_index, on_done = waiters
+            refills[sm_index](line, numa_class)
+            on_done()
+            return
+        filled_sms: set[int] = set()
+        for sm_index, on_done in waiters:
+            if sm_index not in filled_sms:
+                refills[sm_index](line, numa_class)
+                filled_sms.add(sm_index)
+            on_done()
+
+
+class WritePath:
+    """One in-flight write walking the memory path (write-through L1)."""
+
+    __slots__ = (
+        "pool",
+        "socket",
+        "engine",
+        "buckets",
+        "times",
+        # Issuer-side invariants cached at construction.
+        "socket_id",
+        "line_size",
+        "l2",
+        "l2_get",
+        "l2_fill",
+        "dram",
+        "switch",
+        "links",
+        "l2_lat",
+        "l2_write_through",
+        "caches_remote_writes",
+        "holds_remote",
+        "charge",
+        # Per-write state.
+        "line",
+        "home_id",
+        "home",
+        "is_local",
+        "on_done",
+        # Prebound stages.
+        "st_l2",
+        "st_absorb",
+    )
+
+    def __init__(self, socket, pool: list) -> None:
+        self.pool = pool
+        self.socket = socket
+        engine = socket.engine
+        self.engine = engine
+        self.buckets = engine._buckets
+        self.times = engine._times
+        self.socket_id = socket.socket_id
+        self.line_size = socket.line_size
+        self.l2 = socket.l2
+        self.l2_get = socket.l2._where.get
+        self.l2_fill = socket.l2.fill_fast
+        self.dram = socket.dram
+        self.switch = socket.switch
+        self.links = socket.switch.links if socket.switch is not None else None
+        self.l2_lat = socket._l2_hit_latency
+        self.l2_write_through = socket._l2_write_through
+        self.caches_remote_writes = socket._caches_remote_writes
+        self.holds_remote = socket._l2_holds_remote
+        self.charge = socket._charge_dirty_eviction
+        self.line = 0
+        self.home_id = 0
+        self.home = None
+        self.is_local = True
+        self.on_done = None
+        self.st_l2 = self._stage_l2
+        self.st_absorb = self._stage_absorb
+
+    def _stage_l2(self) -> None:
+        """Write arrives at the requester L2 (stepwise ``_write_at_l2``)."""
+        s = self.socket
+        line = self.line
+        engine = self.engine
+        if self.is_local:
+            # Home L2 absorbs the write (write-back, allocate-on-write;
+            # stores are assumed full-line coalesced so no fetch happens).
+            # Inlined l2.lookup(line, write=True) + fill on miss.
+            way = self.l2_get(line)
+            if way is not None:
+                sent = way.sent
+                if way.nxt is not sent:
+                    p = way.prev
+                    n = way.nxt
+                    p.nxt = n
+                    n.prev = p
+                    p = sent.prev
+                    p.nxt = way
+                    way.prev = p
+                    way.nxt = sent
+                    sent.prev = way
+                l2 = self.l2
+                if not l2.write_through:
+                    way.dirty = True
+                l2.n_write_hits += 1
+            else:
+                self.l2.n_write_misses += 1
+                packed = self.l2_fill(line, 0, True)
+                if packed >= 0:
+                    self.charge(packed)
+            if self.l2_write_through:
+                self.dram.access(engine.now, self.line_size, write=True)
+            on_done = self.on_done
+            self.on_done = None
+            self.pool.append(self)
+            t = engine.now + self.l2_lat
+            buckets = self.buckets
+            bucket = buckets.get(t)
+            if bucket is None:
+                buckets[t] = [on_done]
+                heappush(self.times, t)
+            else:
+                bucket.append(on_done)
+            engine._pending += 1
+            return
+        if self.caches_remote_writes:
+            way = self.l2_get(line)
+            if way is not None:
+                sent = way.sent
+                if way.nxt is not sent:
+                    p = way.prev
+                    n = way.nxt
+                    p.nxt = n
+                    n.prev = p
+                    p = sent.prev
+                    p.nxt = way
+                    way.prev = p
+                    way.nxt = sent
+                    sent.prev = way
+                l2 = self.l2
+                if not l2.write_through:
+                    way.dirty = True
+                l2.n_write_hits += 1
+            else:
+                self.l2.n_write_misses += 1
+                packed = self.l2_fill(line, 1, True)
+                if packed >= 0:
+                    self.charge(packed)
+            on_done = self.on_done
+            self.on_done = None
+            self.pool.append(self)
+            t = engine.now + self.l2_lat
+            buckets = self.buckets
+            bucket = buckets.get(t)
+            if bucket is None:
+                buckets[t] = [on_done]
+                heappush(self.times, t)
+            else:
+                bucket.append(on_done)
+            engine._pending += 1
+            return
+        # Forward the write to its home socket; drop any stale local copy
+        # (write-invalidate keeps the R$ / write-through L2 coherent).
+        if self.holds_remote:
+            self.l2.drop(line)
+        s.n_remote_writes_forwarded += 1
+        arrival = self.switch.send_bytes(
+            engine.now, self.socket_id, self.home_id, DATA_BYTES
+        )
+        self.home = self.links[self.home_id].owner
+        buckets = self.buckets
+        bucket = buckets.get(arrival)
+        if bucket is None:
+            buckets[arrival] = [self.st_absorb]
+            heappush(self.times, arrival)
+        else:
+            bucket.append(self.st_absorb)
+        engine._pending += 1
+
+    def _stage_absorb(self) -> None:
+        """Home-side absorption + ack (stepwise ``_absorb_remote_write``)."""
+        h = self.home
+        line = self.line
+        engine = self.engine
+        h.n_remote_writes_absorbed += 1
+        l2 = h.l2
+        way = l2._where.get(line)
+        if way is not None:
+            sent = way.sent
+            if way.nxt is not sent:
+                p = way.prev
+                n = way.nxt
+                p.nxt = n
+                n.prev = p
+                p = sent.prev
+                p.nxt = way
+                way.prev = p
+                way.nxt = sent
+                sent.prev = way
+            if not l2.write_through:
+                way.dirty = True
+            l2.n_write_hits += 1
+        else:
+            l2.n_write_misses += 1
+            packed = l2.fill_fast(line, 0, True)
+            if packed >= 0:
+                h._charge_dirty_eviction(packed)
+        if h._l2_write_through:
+            h.dram.access(engine.now, h.line_size, write=True)
+        arrival = h.switch.send_bytes(
+            engine.now, h.socket_id, self.socket_id, CONTROL_BYTES
+        )
+        on_done = self.on_done
+        self.on_done = None
+        self.pool.append(self)
+        buckets = self.buckets
+        bucket = buckets.get(arrival)
+        if bucket is None:
+            buckets[arrival] = [on_done]
+            heappush(self.times, arrival)
+        else:
+            bucket.append(on_done)
+        engine._pending += 1

@@ -71,6 +71,27 @@ class BandwidthResource:
         whole = int(next_free)
         return whole if whole == next_free else whole + 1
 
+    def quote(self, arrival: int, nbytes: int) -> int:
+        """Completion cycle :meth:`service` *would* return — without
+        committing the transfer.
+
+        This is the closed form the fused miss pipeline's path quotes
+        rest on (DESIGN.md, "Fused miss pipeline"): a FIFO server's
+        completion depends only on its state at the admission instant,
+        so a quote taken at admission time is exact and a later
+        :meth:`set_rate` can never retime it. A quote taken *without*
+        admitting is only a lower bound — another admission may queue
+        ahead — which is why the pipeline never quotes across a resource
+        it has not yet admitted.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes}")
+        next_free = self._next_free
+        start = arrival if arrival > next_free else next_free
+        done = start + nbytes / self._rate
+        whole = int(done)
+        return whole if whole == done else whole + 1
+
     def queue_delay(self, arrival: int) -> float:
         """Cycles a transfer arriving now would wait before service starts."""
         return max(0.0, self._next_free - arrival)
@@ -84,7 +105,15 @@ class BandwidthResource:
         return self._rate
 
     def set_rate(self, rate: float) -> None:
-        """Change the service rate; only affects transfers admitted later."""
+        """Change the service rate; only affects transfers admitted later.
+
+        An in-flight reservation keeps the completion time it was quoted
+        at admission — the work-conserving FIFO arithmetic folds each
+        transfer into ``next_free`` when admitted, so there is nothing
+        left to retime (pinned by tests/test_resource.py's lane-turn and
+        quiesce-commit cases; the fused miss pipeline's determinism
+        contract relies on it).
+        """
         if rate <= 0:
             raise SimulationError(
                 f"resource {self.name!r} needs positive rate, got {rate}"

@@ -839,6 +839,31 @@ STUDY_SET: tuple[str, ...] = tuple(
     name for name in SUITE if name not in GREY_BOX
 )
 
+#: A budget-bounded cross-section of the suite: one-or-two workloads per
+#: behavioural class (shared-read conv, graph indirection, stencil,
+#: random+stream CFD, reduction mixes, lookup tables, grey-box private /
+#: streaming, multigrid phase flips). This is what CI runs at the
+#: ``small`` scale tier (``scripts/run_experiments.py --workloads
+#: compact``) so the paper-scale grid stays inside the job budget while
+#: still exercising every mechanism; full sweeps use the complete suite.
+COMPACT_SET: tuple[str, ...] = (
+    "ML-GoogLeNet-cudnn-Lev2",
+    "ML-AlexNet-cudnn-Lev2",
+    "Rodinia-BFS",
+    "Rodinia-Hotspot",
+    "Rodinia-Euler3D",
+    "Rodinia-Kmeans",
+    "HPC-AMG",
+    "HPC-RSBench",
+    "HPC-CoMD",
+    "HPC-HPGMG-UVM",
+    "Lonestar-SSSP",
+    "Other-Stream-Triad",
+    "Other-Optix-Raytracing",
+)
+
+assert all(name in SUITE for name in COMPACT_SET)
+
 
 def get_workload(name: str) -> WorkloadSpec:
     """Look up one workload; raises WorkloadError with suggestions."""

@@ -222,3 +222,115 @@ def test_events_scheduled_at_current_time_run_in_same_drain():
     eng.run()
     assert fired == ["first", "second", "appended"]
     assert eng.now == 3
+
+
+# ---------------------------------------------------------------------------
+# O(1) pending_events (PR 3 satellite): the count is a maintained running
+# total, never a sum over buckets — and it stays exact through every drain
+# mode, the zero-argument fast path, and error paths.
+# ---------------------------------------------------------------------------
+
+class _CountingBuckets(dict):
+    """Dict that records iteration — pending_events must never iterate."""
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.iterations = 0
+
+    def values(self):  # pragma: no cover - exercised only on regression
+        self.iterations += 1
+        return super().values()
+
+    def items(self):  # pragma: no cover - exercised only on regression
+        self.iterations += 1
+        return super().items()
+
+
+def test_pending_events_is_constant_time():
+    eng = Engine()
+    for i in range(500):
+        eng.schedule(i, lambda: None)
+    counting = _CountingBuckets(eng._buckets)
+    eng._buckets = counting
+    assert eng.pending_events == 500
+    assert counting.iterations == 0  # running count, no bucket walk
+
+
+def test_pending_events_tracks_schedule_and_drain():
+    eng = Engine()
+    assert eng.pending_events == 0
+    eng.schedule(5, lambda: None)
+    eng.schedule_at(5, lambda: None)
+    eng.schedule_call(7, lambda: None)
+    eng.schedule_call_at(9, lambda: None)
+    assert eng.pending_events == 4
+    eng.run(until=5)
+    assert eng.pending_events == 2
+    eng.run()
+    assert eng.pending_events == 0
+
+
+def test_pending_events_exact_under_max_events_budget():
+    eng = Engine()
+    for _ in range(6):
+        eng.schedule(1, lambda: None)
+    with pytest.raises(SchedulingError):
+        eng.run(max_events=4)
+    # 4 executed, 2 still queued.
+    assert eng.pending_events == 2
+    eng.run()
+    assert eng.pending_events == 0
+
+
+def test_pending_events_counts_mid_drain_appends():
+    eng = Engine()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n:
+            eng.schedule_call(0, lambda: chain(n - 1))
+
+    eng.schedule_call(3, lambda: chain(4))
+    eng.run()
+    assert fired == [4, 3, 2, 1, 0]
+    assert eng.pending_events == 0
+
+
+def test_pending_events_consistent_after_callback_raises():
+    eng = Engine()
+
+    def boom():
+        raise RuntimeError("model error")
+
+    eng.schedule(1, lambda: None)
+    eng.schedule(1, boom)
+    eng.schedule(1, lambda: None)
+    eng.schedule(9, lambda: None)
+    with pytest.raises(RuntimeError):
+        eng.run()
+    # The raising bucket is kept whole (not resumable, but accounting and
+    # peek stay consistent) plus the untouched later event.
+    assert eng.pending_events == 4
+    assert eng.peek_time() == 1
+
+
+def test_schedule_call_runs_in_fifo_order_with_tuple_events():
+    eng = Engine()
+    fired = []
+    eng.schedule(3, fired.append, "tuple-1")
+    eng.schedule_call(3, lambda: fired.append("bare-1"))
+    eng.schedule(3, fired.append, "tuple-2")
+    eng.schedule_call(3, lambda: fired.append("bare-2"))
+    eng.run()
+    assert fired == ["tuple-1", "bare-1", "tuple-2", "bare-2"]
+
+
+def test_schedule_call_validation():
+    eng = Engine()
+    with pytest.raises(SchedulingError):
+        eng.schedule_call(-1, lambda: None)
+    eng.schedule(10, lambda: None)
+    eng.run()
+    with pytest.raises(SchedulingError):
+        eng.schedule_call_at(5, lambda: None)

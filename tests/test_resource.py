@@ -131,3 +131,93 @@ def test_window_zero_elapsed_returns_zero():
     res = BandwidthResource("r", 10.0)
     win = UtilizationWindow(res)
     assert win.sample(0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# set_rate vs in-flight reservations (PR 3 satellite): the fused miss
+# pipeline quotes path completions at admission time, which is only sound
+# because a FIFO server's completion is fully determined when the transfer
+# is admitted — later rate changes must never retime an admitted transfer.
+# ---------------------------------------------------------------------------
+
+
+def test_set_rate_never_retimes_an_admitted_transfer():
+    res = BandwidthResource("r", 10.0)
+    quoted = res.service(0, 200)  # admitted at rate 10 -> done at 20
+    res.set_rate(1.0)  # crash the rate mid-transfer
+    # The admitted transfer's completion was fixed at admission; only the
+    # *next* admission sees the new rate, queued behind the first.
+    assert quoted == 20
+    assert res.service(0, 10) == 30  # starts at 20, 10/1.0 = 10 more
+
+
+def test_lane_turn_mid_transfer_matches_stepwise_arithmetic():
+    # A link direction serving a long transfer loses a lane (rate drop at
+    # the donor) mid-flight: the in-flight transfer keeps its quote; the
+    # follow-up admission queues FIFO behind it at the reduced rate.
+    from dataclasses import replace
+
+    from repro.config import LinkConfig
+    from repro.interconnect.link import Direction, DuplexLink
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+    config = replace(LinkConfig(), lanes_per_direction=2, lane_bandwidth=4.0,
+                     latency=0)
+    link = DuplexLink(0, config, engine)
+    first = link.transfer(0, Direction.EGRESS, 80)  # 80/8 = 10 cycles
+    link.turn_lane(Direction.INGRESS, switch_time=100)  # egress: 2 -> 1 lane
+    assert link.lanes(Direction.EGRESS) == 1
+    # Stepwise semantics: the first transfer still completes at 10; the
+    # second starts when the server frees and serializes at the new rate.
+    second = link.transfer(0, Direction.EGRESS, 80)  # 80/4 = 20 cycles
+    assert first == 10
+    assert second == 30
+    # The recipient's gained lane applies only after the quiesce commit.
+    assert link.bandwidth(Direction.INGRESS) == 8.0
+    engine.run()
+    assert link.bandwidth(Direction.INGRESS) == 12.0
+
+
+def test_quiesce_commit_between_reserve_and_completion():
+    # A reservation made during the quiesce window (after turn_lane, before
+    # the commit event) must use the pre-commit rate of the gaining
+    # direction, even though its completion lies after the commit lands.
+    from dataclasses import replace
+
+    from repro.config import LinkConfig
+    from repro.interconnect.link import Direction, DuplexLink
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+    config = replace(LinkConfig(), lanes_per_direction=2, lane_bandwidth=4.0,
+                     latency=0)
+    link = DuplexLink(0, config, engine)
+    link.turn_lane(Direction.INGRESS, switch_time=50)
+    # Reserve on the gaining direction inside the quiesce window: old rate
+    # (2 lanes x 4 B/c = 8) applies even though completion (t=100) is far
+    # beyond the commit at t=50.
+    quoted = link.transfer(0, Direction.INGRESS, 800)  # 800/8 = 100
+    assert quoted == 100
+    engine.run()  # commit fires at t=50
+    assert engine.now == 50
+    # The quote was not retimed by the commit; a new admission queues
+    # behind it at the committed 3-lane rate (12 B/c).
+    assert link.transfer(0, Direction.INGRESS, 120) == 110
+    # Busy accounting equals the served durations exactly (100 + 10).
+    assert link.resource(Direction.INGRESS).busy_up_to(110) == pytest.approx(110.0)
+
+
+def test_quote_matches_service_then_commits_nothing():
+    res = BandwidthResource("r", 10.0)
+    res.service(0, 100)  # next_free = 10
+    quoted = res.quote(5, 33)  # start 10, 3.3 cycles -> ceil 14
+    assert quoted == 14
+    assert res.transfers == 1  # nothing committed
+    assert res.service(5, 33) == 14  # the commit matches the quote
+
+
+def test_quote_rejects_negative_size():
+    res = BandwidthResource("r", 1.0)
+    with pytest.raises(SimulationError):
+        res.quote(0, -1)

@@ -1,4 +1,4 @@
-"""Tests for the per-socket line->home translation cache (PR 2).
+"""Tests for the per-socket line->home translation cache (PR 2/PR 3).
 
 The cache lets the steady-state access path skip PageTable.translate();
 these tests pin the invalidation contract (page re-homing must drop
@@ -41,7 +41,7 @@ def test_access_populates_translation_cache_and_skips_translate():
     line = addr // s0.line_size
     s0.access(0, addr, False, lambda: None)
     engine.run()
-    assert s0._xlate[line] == (0, True)
+    assert s0._xlate[line] == 0
     translations_before = table.n_translations
     s0.access(0, addr, False, lambda: None)
     engine.run()
@@ -78,13 +78,13 @@ def test_retranslation_after_invalidation_sees_new_home():
     s0 = sockets[0]
     s0.access(0, 0, False, lambda: None)
     engine.run()
-    assert s0._xlate[0] == (0, True)
+    assert s0._xlate[0] == 0
     page = 0
     table.placement._page_home[page] = 1  # the migration itself
     table.invalidate_page(page)
     s0.access(0, 0, False, lambda: None)
     engine.run()
-    assert s0._xlate[0] == (1, False)
+    assert s0._xlate[0] == 1
     assert s0.n_remote_accesses >= 1
 
 
@@ -97,7 +97,7 @@ def test_uvm_prefetch_invalidates_newly_pinned_pages():
     s0.access(0, 0, False, lambda: None)
     engine.run()
     # The pinned page belongs to socket 1: socket 0 sees a remote access.
-    assert s0._xlate[0] == (1, False)
+    assert s0._xlate[0] == 1
     assert s0.n_remote_accesses == 1
 
 
