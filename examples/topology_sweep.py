@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Topology sweep: the same workload across interconnect fabrics.
+
+Runs a few workloads on the paper's crossbar and on the declarative
+multi-hop topologies (``ring``, ``mesh2d``, ``switch_tree``,
+``fully_connected``) at a fixed socket count, then prints per-fabric
+runtime, mean route hops, per-edge traffic of the busiest edge, and the
+canonical-cut bisection utilization — the policy x fabric axis the
+topology subsystem opens (DESIGN.md, "Topology layer").
+
+Usage:
+    python examples/topology_sweep.py [--scale tiny|small|medium]
+        [--sockets 4] [--workloads NAME ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+from repro import get_workload, run_workload_on, scaled_config
+from repro.harness.formatting import format_table
+from repro.topology import bisection_cut, build_topology
+from repro.topology.routing import bisection_bandwidth
+from repro.workloads.spec import SCALES
+
+DEFAULT_WORKLOADS = ("Rodinia-BFS", "HPC-RSBench")
+KINDS = ("crossbar", "ring", "mesh2d", "switch_tree", "fully_connected")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument("--sockets", type=int, default=4)
+    parser.add_argument(
+        "--workloads", nargs="*", default=list(DEFAULT_WORKLOADS)
+    )
+    args = parser.parse_args()
+    scale = SCALES[args.scale]
+
+    base = scaled_config(n_sockets=args.sockets)
+    rows = []
+    for name in args.workloads:
+        workload = get_workload(name)
+        crossbar_cycles = None
+        for kind in KINDS:
+            spec = build_topology(kind, args.sockets, base.link)
+            result = run_workload_on(
+                replace(base, topology=spec), workload, scale
+            )
+            if kind == "crossbar":
+                crossbar_cycles = result.cycles
+            speedup = (
+                crossbar_cycles / result.cycles if crossbar_cycles else 0.0
+            )
+            if result.edges:
+                busiest = max(result.edges, key=lambda e: e.total_bytes)
+                busiest_cell = f"{busiest.name} ({busiest.total_bytes}B)"
+                cut_names = {
+                    spec.edges[e].name for e in bisection_cut(spec)
+                }
+                cut_bytes = sum(
+                    e.total_bytes
+                    for e in result.edges
+                    if e.name in cut_names
+                )
+                capacity = bisection_bandwidth(spec) * result.cycles
+                bisection = f"{cut_bytes / capacity:.1%}" if capacity else "-"
+            else:
+                busiest_cell = "(crossbar: per-socket links)"
+                bisection = "-"
+            rows.append(
+                [
+                    name,
+                    spec.name,
+                    result.cycles,
+                    f"{speedup:.3f}x",
+                    f"{result.mean_hops:.2f}",
+                    busiest_cell,
+                    bisection,
+                ]
+            )
+    print(
+        format_table(
+            [
+                "Workload",
+                "Topology",
+                "Cycles",
+                "vs crossbar",
+                "Mean hops",
+                "Busiest edge",
+                "Bisection util",
+            ],
+            rows,
+            title=f"Topology sweep at {args.sockets} sockets ({args.scale})",
+        )
+    )
+    print(
+        "\nring/mesh trade bisection bandwidth for shorter point-to-point "
+        "hops;\nswitch_tree models chiplet NUMA: cheap intra-package links "
+        "behind a slow shared trunk."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,14 +6,18 @@ drivers at the requested scale and records the means the paper reports.
 
 Usage:
     python scripts/run_experiments.py [tiny|small|medium] [out.json]
-        [--scale NAME] [--workloads full|compact]
+        [--scale NAME] [--workloads full|extended|compact|auto]
         [--jobs N] [--cache-dir DIR | --no-cache]
 
 ``--scale`` overrides the positional scale (CI invokes the tier
 explicitly as ``--scale small``); ``--workloads compact`` restricts the
 figure grid to the behaviour-class cross-section
 ``repro.workloads.suite.COMPACT_SET`` so paper-scale tiers fit a CI job
-budget.
+budget, ``extended`` uses the roughly-2x ``EXTENDED_SET`` staging tier,
+and ``auto`` picks the largest grid the resolved worker count can fan
+out within a CI-job budget (full with >= 4 workers, extended with >= 2,
+else compact) — the worker-count-aware driver selection that lets the
+small tier grow toward the full 41-workload grid as runners allow.
 
 With ``--jobs N`` (or ``REPRO_JOBS=N``) the full simulation grid is first
 captured from the drivers and fanned out over N worker processes; the
@@ -31,10 +35,37 @@ import time
 from repro.harness import experiments as E
 from repro.harness.parallel import ParallelRunner, make_context, resolve_jobs
 from repro.workloads.spec import SCALES
-from repro.workloads.suite import COMPACT_SET
+from repro.workloads.suite import (
+    COMPACT_SET,
+    EXTENDED_SET,
+    SUITE,
+    TOPOLOGY_SET,
+)
 
 #: Figure 6 sampling-time sweep used for the JSON summary.
 SAMPLE_TIMES = (500, 1000, 5000, 20000)
+
+#: Topology sweep grid for the JSON summary (policy x fabric x sockets).
+TOPOLOGY_KINDS = ("ring", "mesh2d", "switch_tree")
+TOPOLOGY_SOCKETS = (2, 4, 8, 16)
+
+
+def resolve_workloads(selection: str, jobs: int) -> tuple[str, ...] | None:
+    """Map a ``--workloads`` choice to a workload tuple (None = full).
+
+    ``auto`` is worker-count-aware: the figure drivers get the largest
+    workload grid the resolved worker count can fan out inside a CI job
+    budget.
+    """
+    if selection == "auto":
+        selection = "full" if jobs >= 4 else (
+            "extended" if jobs >= 2 else "compact"
+        )
+    return {
+        "full": None,
+        "extended": EXTENDED_SET,
+        "compact": COMPACT_SET,
+    }[selection]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,9 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale to avoid positional ambiguity)",
     )
     parser.add_argument(
-        "--workloads", default="full", choices=("full", "compact"),
-        help="figure-grid workload selection: the full 41-workload suite "
-        "or the CI cross-section (repro.workloads.suite.COMPACT_SET)",
+        "--workloads", default="full",
+        choices=("full", "extended", "compact", "auto"),
+        help="figure-grid workload selection: the full 41-workload suite, "
+        "the EXTENDED_SET staging tier, the CI cross-section "
+        "(COMPACT_SET), or 'auto' (pick by resolved worker count)",
     )
     parser.add_argument(
         "--jobs", "-j", type=int, default=None, metavar="N",
@@ -92,8 +125,13 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
     )
     #: None = each driver's own default (full suite / study set).
-    names = COMPACT_SET if args.workloads == "compact" else None
-    out: dict = {"scale": scale, "jobs": jobs, "workloads": args.workloads}
+    names = resolve_workloads(args.workloads, jobs)
+    out: dict = {
+        "scale": scale,
+        "jobs": jobs,
+        "workloads": args.workloads,
+        "workload_count": len(names) if names is not None else len(SUITE),
+    }
 
     # One driver per figure, defined once so the parallel prewarm captures
     # exactly the grid the serial pass below will request.
@@ -113,6 +151,14 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "writeback": lambda c: E.writeback_sensitivity(c, workloads=names),
         "power": lambda c: E.power_analysis(c, workloads=names),
+        # The topology sweep always uses its compact TOPOLOGY_SET (the
+        # policy x fabric x socket grid is already ~200 simulations).
+        "topology": lambda c: E.topology_sweep(
+            c,
+            workloads=TOPOLOGY_SET,
+            kinds=TOPOLOGY_KINDS,
+            socket_counts=TOPOLOGY_SOCKETS,
+        ),
     }
 
     if jobs > 1:
@@ -187,6 +233,17 @@ def main(argv: list[str] | None = None) -> int:
         for k in (2, 4, 8)
     }
     print("fig11 done", round(time.time() - t0), flush=True)
+
+    topo = drivers["topology"](ctx)
+    out["topology"] = {
+        f"{c.policy}/{c.kind}/{c.n_sockets}s": {
+            "speedup_vs_crossbar": c.speedup,
+            "mean_hops": c.mean_hops,
+            "bisection_utilization": c.bisection_utilization,
+        }
+        for c in topo.cells
+    }
+    print("topology done", round(time.time() - t0), flush=True)
 
     st = drivers["switch_time"](ctx)
     out["switch_time"] = st.mean_speedup

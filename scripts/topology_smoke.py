@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Topology smoke: the compact suite on ring and switch_tree fabrics.
+
+The CI companion of the topology subsystem: runs the compact workload
+cross-section (``repro.workloads.suite.COMPACT_SET``) on the ``ring``
+and ``switch_tree`` topologies at a paper-relevant scale (default:
+``small``), sanity-checks the multi-hop machinery end-to-end —
+
+* per-edge stats are exported for every multi-hop run and cover every
+  spec edge,
+* hop histograms are populated and respect each topology's diameter,
+* routed byte conservation: fabric bytes x mean hops equals the sum of
+  per-edge bytes,
+
+— and measures cold events/sec over the whole smoke grid so the
+measurement can be recorded into ``BENCH_hotpath.json``'s ``history``
+series (the PR 3 protocol: one probe entry + one cold-suite entry per
+PR; see ``scripts/perf_smoke.py`` for the probe).
+
+Usage::
+
+    PYTHONPATH=src python scripts/topology_smoke.py                # assert
+    PYTHONPATH=src python scripts/topology_smoke.py --scale tiny
+    PYTHONPATH=src python scripts/topology_smoke.py --jobs 4
+    PYTHONPATH=src python scripts/topology_smoke.py --append-history "PR 4"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.harness.parallel import ParallelRunner, RunTask, resolve_jobs
+from repro.harness.runner import ExperimentContext
+from repro.sim.instrumentation import SIM_TALLY
+from repro.topology.routing import compute_routes
+from repro.workloads.spec import SCALES
+from repro.workloads.suite import COMPACT_SET
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: The smoke grid: both hierarchy shapes the subsystem introduces, at
+#: the socket counts CI can afford at small scale.
+SMOKE_KINDS = ("ring", "switch_tree")
+SMOKE_SOCKETS = (2, 4)
+
+
+def run_smoke(scale: str, jobs: int) -> dict:
+    """Run the grid (optionally fanned out), verify it, report timing."""
+    ctx = ExperimentContext(scale=SCALES[scale])
+    configs = [
+        ctx.config_topology(kind, n_sockets=k)
+        for kind in SMOKE_KINDS
+        for k in SMOKE_SOCKETS
+    ]
+    tasks = [
+        RunTask(name, config)
+        for config in configs
+        for name in COMPACT_SET
+    ]
+    SIM_TALLY.reset()
+    t0 = time.perf_counter()
+    if jobs > 1:
+        # Fan out cold; events/sec is then reported from the suite wall
+        # (workers' engine-drain tallies live in their own processes).
+        ParallelRunner(ctx, jobs=jobs).prewarm(tasks)
+        wall = time.perf_counter() - t0
+        events = 0
+    else:
+        for task in tasks:
+            ctx.run(task.workload, task.config)
+        wall = time.perf_counter() - t0
+        events = SIM_TALLY.snapshot()["events"]
+
+    checked = 0
+    for config in configs:
+        spec = config.topology
+        routes = compute_routes(spec)
+        diameter = routes.diameter(spec.n_sockets)
+        edge_names = {edge.name for edge in spec.edges}
+        for name in COMPACT_SET:
+            result = ctx.run(name, config)  # warm cache
+            assert result.edges, (
+                f"{name}/{spec.name}: multi-hop run exported no edge stats"
+            )
+            assert {e.name for e in result.edges} == edge_names, (
+                f"{name}/{spec.name}: edge stats do not cover the spec"
+            )
+            hist = result.hop_histogram
+            # Fully-local workloads legitimately send nothing (e.g.
+            # private-reuse kernels under first-touch placement).
+            assert hist or result.switch_bytes == 0, (
+                f"{name}/{spec.name}: fabric moved bytes but the hop "
+                "histogram is empty"
+            )
+            if not hist:
+                checked += 1
+                continue
+            assert max(hist) <= diameter, (
+                f"{name}/{spec.name}: {max(hist)}-hop route exceeds the "
+                f"topology diameter {diameter}"
+            )
+            routed = sum(h * c for h, c in hist.items())
+            packets = sum(c for c in hist.values())
+            edge_packets = sum(
+                e.packets_ab + e.packets_ba for e in result.edges
+            )
+            assert routed == edge_packets, (
+                f"{name}/{spec.name}: {routed} routed hops != "
+                f"{edge_packets} per-edge packet crossings"
+            )
+            assert packets > 0 and result.cycles > 0
+            checked += 1
+    return {
+        "scale": scale,
+        "jobs": jobs,
+        "simulations": len(tasks),
+        "checked": checked,
+        "events": events,
+        "wall_seconds": round(wall, 3),
+        "events_per_second": round(events / wall, 1) if events and wall else 0.0,
+    }
+
+
+def append_history(record: dict, label: str) -> None:
+    """Append the smoke measurement to BENCH_hotpath.json's history."""
+    bench = {}
+    if BENCH_PATH.exists():
+        try:
+            bench = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            bench = {}
+    history = bench.setdefault("history", [])
+    history.append(
+        {
+            "label": label,
+            "source": "topology-smoke (cold, serial)",
+            "scale": record["scale"],
+            "events": record["events"],
+            "events_per_second": record["events_per_second"],
+            "recorded_at": time.strftime("%Y-%m-%d"),
+        }
+    )
+    BENCH_PATH.write_text(json.dumps(bench, indent=1, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", default="small", choices=sorted(SCALES),
+        help="workload scale for the smoke grid (default: small)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes (default: $REPRO_JOBS or 1; 0 = one per "
+        "CPU); events/sec is only measured on serial runs",
+    )
+    parser.add_argument(
+        "--append-history", metavar="LABEL", default=None,
+        help="append this measurement to BENCH_hotpath.json's history "
+        "(requires a serial run so engine tallies are measured)",
+    )
+    args = parser.parse_args(argv)
+    jobs = resolve_jobs(args.jobs)
+    record = run_smoke(args.scale, jobs)
+    print(f"topology smoke: {json.dumps(record)}")
+    if args.append_history:
+        if not record["events"]:
+            parser.error("--append-history needs a serial run (--jobs 1)")
+        append_history(record, args.append_history)
+        print(f"history += {args.append_history!r} -> {BENCH_PATH.name}")
+    print(
+        f"OK: {record['checked']} multi-hop runs verified on "
+        f"{'+'.join(SMOKE_KINDS)} at {args.scale} scale"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

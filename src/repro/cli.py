@@ -4,7 +4,10 @@ Installed as the ``repro`` console script::
 
     repro list                         # the 41 workloads
     repro run HPC-MCB --sockets 4 --cache numa_aware --links dynamic
+    repro run HPC-AMG --topology ring  # same workload on a ring fabric
     repro experiment figure8           # any table/figure driver
+    repro experiment topology          # policy x fabric x socket sweep
+    repro topology describe ring --sockets 8   # graph + routing tables
     repro trace HPC-MCB out.trace      # record a replayable trace
 """
 
@@ -22,8 +25,12 @@ from repro.config import (
 )
 from repro.core.builder import run_workload_on
 from repro.harness import experiments
+from repro.harness.formatting import format_table
 from repro.harness.runner import ExperimentContext
 from repro.metrics.export import run_to_dict
+from repro.topology.routing import bisection_bandwidth, bisection_cut, compute_routes
+from repro.topology.spec import BUILDERS as TOPOLOGY_KINDS
+from repro.topology.spec import build_topology
 from repro.workloads.spec import SCALES
 from repro.workloads.suite import SUITE, get_workload
 from repro.workloads.trace import record_trace, save_trace
@@ -43,6 +50,7 @@ EXPERIMENTS = {
     "switch_time": experiments.switch_time_sensitivity,
     "writeback": experiments.writeback_sensitivity,
     "power": experiments.power_analysis,
+    "topology": experiments.topology_sweep,
 }
 
 
@@ -81,6 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[p.value for p in CtaPolicy],
         default=CtaPolicy.CONTIGUOUS.value,
     )
+    run.add_argument(
+        "--topology",
+        choices=sorted(TOPOLOGY_KINDS),
+        default=None,
+        help="interconnect topology (default: the paper's crossbar)",
+    )
+
+    topo = sub.add_parser(
+        "topology", help="inspect the declarative topology layer"
+    )
+    topo_sub = topo.add_subparsers(dest="topology_command", required=True)
+    describe = topo_sub.add_parser(
+        "describe",
+        help="print a topology's graph, per-edge lanes, and routing tables",
+    )
+    describe.add_argument("kind", choices=sorted(TOPOLOGY_KINDS))
+    describe.add_argument("--sockets", type=int, default=4)
 
     exp = sub.add_parser("experiment", help="run a table/figure driver")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -114,17 +139,73 @@ def cmd_list() -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
+    base = scaled_config(n_sockets=args.sockets)
     config = replace(
-        scaled_config(n_sockets=args.sockets),
+        base,
         cache_arch=CacheArch(args.cache),
         link_policy=LinkPolicy(args.links),
         placement=PlacementPolicy(args.placement),
         cta_policy=CtaPolicy(args.cta_policy),
+        topology=(
+            build_topology(args.topology, args.sockets, base.link)
+            if args.topology
+            else None
+        ),
     )
     workload = get_workload(args.workload)
     result = run_workload_on(config, workload, SCALES[args.scale])
     for key, value in run_to_dict(result).items():
         print(f"{key:16s} {value}")
+    if result.hop_histogram:
+        print(f"{'mean_hops':16s} {result.mean_hops:.3f}")
+    for edge in result.edges:
+        print(
+            f"{'edge':16s} {edge.name}: {edge.bytes_ab}B ->, "
+            f"{edge.bytes_ba}B <-, lanes {edge.lanes_ab}/{edge.lanes_ba}, "
+            f"{edge.lane_turns} turns"
+        )
+    return 0
+
+
+def cmd_topology_describe(args: argparse.Namespace) -> int:
+    """Print one topology's graph, per-edge lanes, and routing summary."""
+    # Build with the scaled link so the bandwidth columns match what
+    # `repro run --topology` and the experiment drivers simulate.
+    spec = build_topology(
+        args.kind, args.sockets, scaled_config(n_sockets=args.sockets).link
+    )
+    routes = compute_routes(spec)
+    print(f"topology {spec.name} ({spec.kind}): "
+          f"{spec.n_sockets} sockets, {len(spec.routers)} routers, "
+          f"{len(spec.edges)} edges")
+    cut = set(bisection_cut(spec))
+    rows = [
+        [
+            edge.name,
+            edge.link.lanes_per_direction,
+            f"{edge.link.direction_bandwidth:.0f}",
+            edge.link.latency,
+            "cut" if e in cut else "",
+        ]
+        for e, edge in enumerate(spec.edges)
+    ]
+    print(format_table(
+        ["Edge", "Lanes/dir", "B/cyc/dir", "Latency", "Bisection"],
+        rows,
+        title="Edges",
+    ))
+    n = spec.n_sockets
+    hop_rows = [
+        [spec.sockets[s]] + [routes.hop_count[s][d] for d in range(n)]
+        for s in range(n)
+    ]
+    print(format_table(
+        ["hops"] + list(spec.sockets), hop_rows, title="Socket hop counts"
+    ))
+    print(f"diameter: {routes.diameter(n)} hops, "
+          f"mean socket distance: {routes.mean_socket_hops(n):.2f} hops")
+    print(f"bisection bandwidth (canonical cut, both directions): "
+          f"{bisection_bandwidth(spec):.0f} B/cyc")
     return 0
 
 
@@ -157,6 +238,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_list()
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "topology":
+        return cmd_topology_describe(args)
     if args.command == "experiment":
         return cmd_experiment(args)
     if args.command == "trace":

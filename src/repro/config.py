@@ -22,8 +22,12 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass, field, fields, is_dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.topology.spec import TopologySpec
 
 #: Cache line size used throughout the paper (bytes).
 LINE_SIZE = 128
@@ -198,12 +202,28 @@ class SystemConfig:
     #: software + hardware cost of dispatching sub-kernels to all sockets
     #: (the launch overhead that forces coarse-grained CTA blocks, §3).
     kernel_launch_latency: int = 2000
+    #: optional interconnect graph (:class:`repro.topology.spec.TopologySpec`).
+    #: ``None`` means the paper's default fabric: the non-blocking crossbar
+    #: built from ``link``. A ``crossbar`` spec builds the identical
+    #: fast-path Switch; any other kind builds a multi-hop fabric whose
+    #: per-edge LinkConfigs come from the spec (``link`` is then unused).
+    #: The annotation is a string to keep :mod:`repro.config` importable
+    #: before :mod:`repro.topology` (which imports LinkConfig from here).
+    topology: "TopologySpec | None" = None  # noqa: F821
 
     def __post_init__(self) -> None:
         if self.n_sockets < 1:
             raise ConfigError("need at least one socket")
         if self.interleave_granularity < LINE_SIZE:
             raise ConfigError("interleave granularity below line size")
+        topo = self.topology
+        if topo is not None:
+            topo_sockets = getattr(topo, "n_sockets", None)
+            if topo_sockets != self.n_sockets:
+                raise ConfigError(
+                    f"topology {getattr(topo, 'name', topo)!r} describes "
+                    f"{topo_sockets} sockets, config has {self.n_sockets}"
+                )
 
     @property
     def total_sms(self) -> int:
@@ -324,6 +344,9 @@ def single_gpu_config(config: SystemConfig) -> SystemConfig:
         cta_policy=CtaPolicy.CONTIGUOUS,
         cache_arch=CacheArch.MEM_SIDE,
         link_policy=LinkPolicy.STATIC,
+        # One socket has no interconnect; a multi-socket topology would
+        # otherwise fail the socket-count validation.
+        topology=None,
     )
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from repro.config import ControllerConfig
 from repro.gpu.socket import GpuSocket
-from repro.interconnect.link import Direction, DuplexLink
+from repro.interconnect.link import Direction
 from repro.interconnect.packets import DATA_BYTES
 from repro.sim.engine import Engine
 from repro.sim.resource import UtilizationWindow
@@ -35,12 +35,15 @@ class CachePartitionController:
     def __init__(
         self,
         socket: GpuSocket,
-        link: DuplexLink,
+        link,
         engine: Engine,
         config: ControllerConfig,
         record_timeline: bool = False,
     ) -> None:
         self.socket = socket
+        #: the socket's bandwidth view: its crossbar DuplexLink, or the
+        #: fabric's aggregate monitor port over the incident edges on a
+        #: multi-hop topology (anything with ``bandwidth(direction)``).
         self.link = link
         self.engine = engine
         self.sample_time = config.cache_sample_time

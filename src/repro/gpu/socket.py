@@ -42,7 +42,6 @@ from repro.config import CacheArch, PlacementPolicy, SystemConfig, WritePolicy
 from repro.gpu.cta import CtaExecution, MemOp as _SingleOp, Slice
 from repro.gpu.sm import Sm
 from repro.interconnect.packets import DATA_BYTES
-from repro.interconnect.switch import Switch
 from repro.memory.cache import SetAssocCache
 from repro.memory.coherence import CoherenceDomain, FlushResult
 from repro.memory.dram import DramChannel
@@ -135,12 +134,14 @@ class GpuSocket:
         config: SystemConfig,
         engine: Engine,
         page_table: PageTable,
-        switch: Switch | None,
+        switch,
     ) -> None:
         self.socket_id = socket_id
         self.config = config
         self.engine = engine
         self.page_table = page_table
+        #: the system fabric (crossbar Switch or MultiHopFabric), or
+        #: None on a single-socket system.
         self.switch = switch
         gpu = config.gpu
         self.line_size = gpu.l2.line_size
@@ -543,7 +544,7 @@ class GpuSocket:
         arrival = self.switch.send_bytes(
             self.engine.now, self.socket_id, home, DATA_BYTES
         )
-        home_socket = self.switch.links[home].owner
+        home_socket = self.switch.owners[home]
         self.engine.schedule_at(arrival, home_socket._absorb_writeback, line)
 
     def _line_home(self, line: int) -> int:
@@ -587,7 +588,7 @@ class GpuSocket:
                 arrival = self.switch.send_bytes(
                     now, self.socket_id, home, DATA_BYTES
                 )
-                home_socket = self.switch.links[home].owner
+                home_socket = self.switch.owners[home]
                 self.engine.schedule_at(arrival, home_socket._absorb_writeback_dram)
         return result
 

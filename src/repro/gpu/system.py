@@ -12,11 +12,11 @@ import gc
 import time
 
 from repro.config import CacheArch, LinkPolicy, SystemConfig
-from repro.core.link_policy import build_balancers, effective_link_config
+from repro.core.link_policy import build_balancers
 from repro.core.numa_cache import CachePartitionController
 from repro.gpu.socket import GpuSocket
-from repro.interconnect.switch import Switch
 from repro.memory.page_table import PageTable
+from repro.topology.fabric import build_fabric
 from repro.metrics.report import RunResult, collect_results
 from repro.runtime.kernel import KernelWork
 from repro.runtime.launcher import Launcher
@@ -34,20 +34,24 @@ class NumaGpuSystem:
         self.engine = Engine()
         self.page_table = PageTable(config)
         self.uvm = UvmManager(self.page_table)
-        if config.n_sockets > 1:
-            link_config = effective_link_config(config)
-            self.switch: Switch | None = Switch(
-                config.n_sockets, link_config, self.engine
-            )
-        else:
-            self.switch = None
+        # The fabric-or-none decision lives in one documented helper
+        # (`repro.topology.fabric.build_fabric`): None for one socket,
+        # the crossbar Switch for the default/crossbar topology, a
+        # MultiHopFabric for everything else. ``switch`` keeps its
+        # historic name; it is typed as the Fabric interface now.
+        self.switch = build_fabric(config, self.engine)
         self.sockets = [
             GpuSocket(s, config, self.engine, self.page_table, self.switch)
             for s in range(config.n_sockets)
         ]
         if self.switch is not None:
-            for link, socket in zip(self.switch.links, self.sockets):
-                link.owner = socket
+            self.switch.owners = list(self.sockets)
+            # The crossbar additionally back-references each socket from
+            # its dedicated link (kept for introspection and tests).
+            links = getattr(self.switch, "links", None)
+            if links is not None:
+                for link, socket in zip(links, self.sockets):
+                    link.owner = socket
         self.balancers = build_balancers(
             config,
             self.switch,
@@ -60,7 +64,7 @@ class NumaGpuSystem:
             self.cache_controllers = [
                 CachePartitionController(
                     socket,
-                    self.switch.links[socket.socket_id],
+                    self.switch.monitor_port(socket.socket_id),
                     self.engine,
                     config.controllers,
                     record_timeline=record_timelines,
@@ -125,6 +129,11 @@ class NumaGpuSystem:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    @property
+    def fabric(self):
+        """The interconnect fabric (alias of ``switch``; None = 1 socket)."""
+        return self.switch
+
     @property
     def launcher(self) -> Launcher | None:
         """The launcher of the current/most recent run."""

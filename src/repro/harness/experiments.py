@@ -17,7 +17,8 @@ from repro.harness.runner import ExperimentContext
 from repro.metrics.report import arithmetic_mean, geometric_mean
 from repro.metrics.timeline import bin_series
 from repro.power.interconnect_power import estimate_power
-from repro.workloads.suite import GREY_BOX, STUDY_SET, SUITE
+from repro.topology.routing import bisection_bandwidth, bisection_cut
+from repro.workloads.suite import GREY_BOX, STUDY_SET, SUITE, TOPOLOGY_SET
 
 
 # ---------------------------------------------------------------------------
@@ -633,6 +634,166 @@ def figure11(
 
 
 # ---------------------------------------------------------------------------
+# Topology sweep: policy x fabric x socket count
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TopologyCell:
+    """One (policy, topology, socket count) aggregate of the sweep."""
+
+    policy: str
+    kind: str
+    n_sockets: int
+    speedup: float  # vs the crossbar under the same policy + sockets
+    mean_hops: float
+    bisection_utilization: float
+    n_edges: int
+    bisection_bandwidth: float  # canonical-cut bytes/cycle of the spec
+
+
+@dataclass
+class TopologySweepResult:
+    """Policy x fabric x socket-count study over the topology set.
+
+    Every multi-hop fabric is normalized to the crossbar at the same
+    policy and socket count, so the columns read "what does this fabric
+    cost (or buy) relative to the paper's non-blocking switch".
+    """
+
+    policies: tuple[str, ...]
+    kinds: tuple[str, ...]
+    socket_counts: tuple[int, ...]
+    cells: list[TopologyCell]
+    per_workload: dict[tuple[str, str, int], dict[str, float]]
+
+    def cell(self, policy: str, kind: str, n_sockets: int) -> TopologyCell:
+        """Lookup one aggregate cell."""
+        for cell in self.cells:
+            if (cell.policy, cell.kind, cell.n_sockets) == (
+                policy, kind, n_sockets
+            ):
+                return cell
+        raise KeyError((policy, kind, n_sockets))
+
+    def render(self) -> str:
+        rows = [
+            [
+                c.policy,
+                c.kind,
+                c.n_sockets,
+                f"{c.speedup:.3f}x",
+                f"{c.mean_hops:.2f}",
+                f"{100 * c.bisection_utilization:.1f}%",
+                c.n_edges,
+                f"{c.bisection_bandwidth:.0f}",
+            ]
+            for c in self.cells
+        ]
+        return format_table(
+            [
+                "Policy",
+                "Topology",
+                "Sockets",
+                "vs crossbar",
+                "Mean hops",
+                "Bisection util",
+                "Edges",
+                "Bisection B/cyc",
+            ],
+            rows,
+            title="Topology sweep: policy x fabric x socket count",
+        )
+
+
+def topology_sweep(
+    ctx: ExperimentContext,
+    workloads: tuple[str, ...] | None = None,
+    kinds: tuple[str, ...] = ("ring", "mesh2d", "switch_tree"),
+    socket_counts: tuple[int, ...] = (2, 4, 8),
+    policies: tuple[str, ...] = ("locality", "combined"),
+) -> TopologySweepResult:
+    """Policy x topology x socket-count sweep (hop + bisection metrics).
+
+    ``policies``: ``locality`` is the Section 3 software baseline
+    (mem-side L2, static lanes); ``combined`` is the full NUMA-aware
+    design (NUMA-aware caches + dynamic per-edge lanes). Speedups are
+    against the *crossbar* under the same policy and socket count, so a
+    value below 1.0 is the price of the cheaper fabric.
+
+    Bisection utilization is measured on the canonical half-split cut of
+    :func:`repro.topology.routing.bisection_cut`: bytes crossing the cut
+    over the run, divided by the cut's aggregate capacity x cycles.
+    """
+    names = workloads if workloads is not None else TOPOLOGY_SET
+    cells: list[TopologyCell] = []
+    per_workload: dict[tuple[str, str, int], dict[str, float]] = {}
+    for policy in policies:
+        combined = policy == "combined"
+        for k in socket_counts:
+            if combined:
+                baseline = ctx.config_combined(n_sockets=k)
+            else:
+                baseline = ctx.config_locality(n_sockets=k)
+            for kind in kinds:
+                config = ctx.config_topology(kind, n_sockets=k,
+                                             combined=combined)
+                spec = config.topology
+                assert spec is not None
+                cut = bisection_cut(spec)
+                cut_names = {spec.edges[e].name for e in cut}
+                cut_bandwidth = bisection_bandwidth(spec)
+                speedups: list[float] = []
+                utils: list[float] = []
+                histogram: dict[int, int] = {}
+                for name in names:
+                    base = ctx.run(name, baseline)
+                    result = ctx.run(name, config)
+                    speedup = result.speedup_over(base)
+                    cut_bytes = sum(
+                        e.total_bytes
+                        for e in result.edges
+                        if e.name in cut_names
+                    )
+                    util = (
+                        cut_bytes / (cut_bandwidth * result.cycles)
+                        if cut_bandwidth and result.cycles
+                        else 0.0
+                    )
+                    speedups.append(speedup)
+                    utils.append(util)
+                    for hop, count in result.hop_histogram.items():
+                        histogram[hop] = histogram.get(hop, 0) + count
+                    per_workload.setdefault((policy, kind, k), {})[name] = (
+                        speedup
+                    )
+                total_packets = sum(histogram.values())
+                mean_hops = (
+                    sum(h * c for h, c in histogram.items()) / total_packets
+                    if total_packets
+                    else 0.0
+                )
+                cells.append(
+                    TopologyCell(
+                        policy=policy,
+                        kind=kind,
+                        n_sockets=k,
+                        speedup=geometric_mean([max(s, 1e-9) for s in speedups]),
+                        mean_hops=mean_hops,
+                        bisection_utilization=arithmetic_mean(utils),
+                        n_edges=len(spec.edges),
+                        bisection_bandwidth=cut_bandwidth,
+                    )
+                )
+    return TopologySweepResult(
+        policies=policies,
+        kinds=kinds,
+        socket_counts=socket_counts,
+        cells=cells,
+        per_workload=per_workload,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Section 6: power
 # ---------------------------------------------------------------------------
 
@@ -709,4 +870,5 @@ def run_all(ctx: ExperimentContext) -> dict[str, object]:
         "switch_time_sensitivity": switch_time_sensitivity(ctx),
         "writeback_sensitivity": writeback_sensitivity(ctx),
         "power": power_analysis(ctx),
+        "topology": topology_sweep(ctx),
     }

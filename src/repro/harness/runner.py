@@ -33,6 +33,7 @@ from repro.config import (
 )
 from repro.core.builder import run_workload_on
 from repro.metrics.report import RunResult
+from repro.topology.spec import build_topology
 from repro.workloads.spec import SMALL, WorkloadScale
 from repro.workloads.suite import get_workload
 
@@ -107,6 +108,29 @@ class ExperimentContext:
             self.base_config(n_sockets),
             cache_arch=CacheArch.NUMA_AWARE,
             link_policy=LinkPolicy.DYNAMIC,
+        )
+
+    def config_topology(
+        self,
+        kind: str,
+        n_sockets: int | None = None,
+        combined: bool = False,
+    ) -> SystemConfig:
+        """Locality runtime on a named multi-hop topology.
+
+        ``kind`` is a :data:`repro.topology.spec.BUILDERS` name; the
+        spec's per-edge links reuse the context's scaled ``link`` so
+        bandwidth ratios match every other configuration at this scale.
+        ``combined=True`` additionally applies the full NUMA-aware
+        design (dynamic per-edge lanes + NUMA-aware caches) on top of
+        the topology.
+        """
+        base = (
+            self.config_combined(n_sockets) if combined
+            else self.base_config(n_sockets)
+        )
+        return replace(
+            base, topology=build_topology(kind, base.n_sockets, base.link)
         )
 
     def config_no_invalidations(self) -> SystemConfig:

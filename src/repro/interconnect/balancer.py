@@ -1,8 +1,11 @@
 """Dynamic link load balancer (Section 4).
 
-One balancer instance watches one GPU socket's duplex link. Every
-``sample_time`` cycles it measures the utilization of both directions over
-the elapsed window and applies the paper's policy:
+One balancer instance watches one duplex link — a socket's crossbar link
+or, on a multi-hop topology, one fabric *edge* (the Section 4 policy
+generalizes unchanged: lanes are turned per edge, so rebalancing is
+per-edge rather than per-socket). Every ``sample_time`` cycles it
+measures the utilization of both directions over the elapsed window and
+applies the paper's policy:
 
 1. If one direction is >= 99% saturated while the other is not, reverse
    one of the unsaturated direction's lanes (after quiescing it for
@@ -25,7 +28,7 @@ from repro.sim.stats import StatGroup, TimeSeries
 
 
 class LinkBalancer:
-    """Per-socket dynamic lane-assignment controller."""
+    """Per-link (socket link or topology edge) lane-assignment controller."""
 
     def __init__(
         self,
@@ -43,12 +46,14 @@ class LinkBalancer:
         #: sample (and optionally record) but never turn lanes — used to
         #: capture Figure 5's utilization profile on the static baseline.
         self.monitor_only = monitor_only
-        self.stats = StatGroup(f"balancer{link.socket_id}")
+        self.stats = StatGroup(f"balancer.{link.label}")
         self.timeline_egress: TimeSeries | None = None
         self.timeline_ingress: TimeSeries | None = None
         if record_timeline:
-            self.timeline_egress = TimeSeries(f"link{link.socket_id}.egress")
-            self.timeline_ingress = TimeSeries(f"link{link.socket_id}.ingress")
+            # Socket links keep their historic ``link<id>.*`` series
+            # names; topology edges record under their edge name.
+            self.timeline_egress = TimeSeries(f"{link.label}.egress")
+            self.timeline_ingress = TimeSeries(f"{link.label}.ingress")
         self._active = False
 
     def start(self) -> None:

@@ -52,6 +52,7 @@ class DuplexLink:
         "config",
         "engine",
         "latency",
+        "label",
         "owner",
         "_lanes_egress",
         "_lanes_ingress",
@@ -78,24 +79,34 @@ class DuplexLink:
         ("n_symmetric_resets", "symmetric_resets"),
     )
 
-    def __init__(self, socket_id: int, config: LinkConfig, engine: Engine) -> None:
+    def __init__(
+        self,
+        socket_id: int,
+        config: LinkConfig,
+        engine: Engine,
+        label: str | None = None,
+    ) -> None:
         self.socket_id = socket_id
         self.config = config
         self.engine = engine
         self.latency = config.latency
+        #: display/series name; stays ``link<id>`` for socket links so
+        #: timeline names are unchanged, while topology edges override it
+        #: with their edge name (e.g. ``gpu0-gpu1``).
+        self.label = label if label is not None else f"link{socket_id}"
         #: back-reference to the owning GpuSocket, wired by the system
         #: builder; used by peers to deliver packets.
         self.owner = None
         self._lanes_egress = config.lanes_per_direction
         self._lanes_ingress = config.lanes_per_direction
         rate = config.lanes_per_direction * config.lane_bandwidth
-        self._res_egress = BandwidthResource(f"link{socket_id}.egress", rate)
-        self._res_ingress = BandwidthResource(f"link{socket_id}.ingress", rate)
+        self._res_egress = BandwidthResource(f"{self.label}.egress", rate)
+        self._res_ingress = BandwidthResource(f"{self.label}.ingress", rate)
         self.windows = {
             Direction.EGRESS: UtilizationWindow(self._res_egress),
             Direction.INGRESS: UtilizationWindow(self._res_ingress),
         }
-        self._stats = StatGroup(f"link{socket_id}")
+        self._stats = StatGroup(self.label)
         self._pending_turns = 0
         self.n_egress_bytes = 0
         self.n_ingress_bytes = 0
@@ -153,7 +164,7 @@ class DuplexLink:
 
     def _raise_emptied(self, direction: Direction) -> None:
         raise InterconnectError(
-            f"link{self.socket_id}: no lanes assigned to "
+            f"{self.label}: no lanes assigned to "
             f"{direction.value}; traffic cannot flow on an emptied "
             "direction (min_lanes=0)"
         )
@@ -201,7 +212,7 @@ class DuplexLink:
         donor_lanes = self.lanes(donor)
         if donor_lanes <= self.config.min_lanes:
             raise InterconnectError(
-                f"link{self.socket_id}: cannot drop {donor.value} below "
+                f"{self.label}: cannot drop {donor.value} below "
                 f"{self.config.min_lanes} lane(s)"
             )
         donor_lanes -= 1

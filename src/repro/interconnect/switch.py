@@ -18,9 +18,20 @@ from repro.sim.stats import StatGroup, flatten_slots
 
 
 class Switch:
-    """Non-blocking crossbar over per-socket duplex links."""
+    """Non-blocking crossbar over per-socket duplex links.
 
-    __slots__ = ("engine", "links", "_stats", "n_packets", "n_bytes")
+    The original (and default) fabric of the simulator; since the
+    topology subsystem it is one implementation of the *Fabric*
+    interface (see DESIGN.md, "Topology layer"): ``send`` /
+    ``send_bytes``, an ``owners`` list wired by the system builder,
+    ``balancer_links`` for the Section 4 lane balancers,
+    ``monitor_port`` for the cache partition controller, and the
+    ``socket_traffic`` / ``edge_stats`` / ``hop_histogram`` accessors
+    the metrics layer reads. Multi-hop topologies use
+    :class:`repro.topology.fabric.MultiHopFabric` instead.
+    """
+
+    __slots__ = ("engine", "links", "owners", "_stats", "n_packets", "n_bytes")
 
     #: slotted counter -> public stats key (see repro.sim.stats).
     _STAT_FIELDS = (
@@ -33,6 +44,9 @@ class Switch:
             raise InterconnectError("a switch needs at least two sockets")
         self.engine = engine
         self.links = [DuplexLink(s, config, engine) for s in range(n_sockets)]
+        #: socket objects indexed by socket id (wired by the system
+        #: builder); the walkers resolve packet destinations through it.
+        self.owners: list = [None] * n_sockets
         self._stats = StatGroup("switch")
         self.n_packets = 0
         self.n_bytes = 0
@@ -110,3 +124,35 @@ class Switch:
     def total_bytes(self) -> int:
         """Bytes moved through the switch (counted once per packet)."""
         return self.n_bytes
+
+    # ------------------------------------------------------------------
+    # Fabric interface (shared with MultiHopFabric)
+    # ------------------------------------------------------------------
+    @property
+    def balancer_links(self) -> list[DuplexLink]:
+        """The duplex links the Section 4 balancers manage (one/socket)."""
+        return self.links
+
+    def monitor_port(self, socket_id: int) -> DuplexLink:
+        """Per-socket bandwidth view for the cache partition controller."""
+        return self.links[socket_id]
+
+    def socket_traffic(self, socket_id: int) -> tuple[int, int, int]:
+        """``(egress_bytes, ingress_bytes, lane_turns)`` of one socket."""
+        link = self.links[socket_id]
+        return link.n_egress_bytes, link.n_ingress_bytes, link.n_lane_turns
+
+    def edge_stats(self) -> list:
+        """Per-edge statistics; empty for the crossbar.
+
+        The crossbar's per-socket links are already reported as
+        :class:`repro.metrics.report.SocketStats` egress/ingress fields,
+        and the exported RunResult JSON for the default fabric is pinned
+        byte-for-byte by ``tests/golden/hotpath`` — so the crossbar
+        deliberately reports no separate edge list.
+        """
+        return []
+
+    def hop_histogram(self) -> dict[int, int]:
+        """Packets by hop count; empty for the crossbar (see edge_stats)."""
+        return {}

@@ -12,7 +12,7 @@ import json
 from pathlib import Path
 from typing import Iterable
 
-from repro.metrics.report import RunResult, SocketStats
+from repro.metrics.report import EdgeStats, RunResult, SocketStats
 from repro.sim.stats import TimeSeries
 
 #: Column order for tabular exports (one row per run).
@@ -81,8 +81,14 @@ def result_to_json_dict(result: RunResult) -> dict:
     Unlike :func:`run_to_dict` (a flattened summary row), this preserves
     every field of the :class:`RunResult` so
     :func:`result_from_json_dict` reconstructs an equal object.
+
+    The topology fields (``edges``, ``hop_histogram``) are emitted only
+    when non-empty: the default crossbar produces neither, and its JSON
+    form is pinned byte-for-byte by ``tests/golden/hotpath`` — omitting
+    empty keys keeps those goldens stable while staying lossless
+    (absent key round-trips to the empty default).
     """
-    return {
+    payload = {
         "workload": result.workload,
         "config_label": result.config_label,
         "cycles": result.cycles,
@@ -101,6 +107,14 @@ def result_to_json_dict(result: RunResult) -> dict:
         },
         "kernel_launch_times": result.kernel_launch_times,
     }
+    if result.edges:
+        payload["edges"] = [vars(e).copy() for e in result.edges]
+    if result.hop_histogram:
+        # JSON object keys are strings; hop counts parse back to ints.
+        payload["hop_histogram"] = {
+            str(hops): count for hops, count in result.hop_histogram.items()
+        }
+    return payload
 
 
 def result_from_json_dict(data: dict) -> RunResult:
@@ -131,6 +145,11 @@ def result_from_json_dict(data: dict) -> RunResult:
             for name, payload in data["partition_timelines"].items()
         },
         kernel_launch_times=[int(t) for t in data["kernel_launch_times"]],
+        edges=[EdgeStats(**e) for e in data.get("edges", [])],
+        hop_histogram={
+            int(hops): int(count)
+            for hops, count in data.get("hop_histogram", {}).items()
+        },
     )
 
 

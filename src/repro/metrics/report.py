@@ -56,6 +56,35 @@ class SocketStats:
 
 
 @dataclass
+class EdgeStats:
+    """Flattened statistics of one fabric edge after a multi-hop run.
+
+    The forward (``ab``) direction is the spec edge's ``a -> b``
+    orientation. Lane counts are the end-of-run assignment (per-edge
+    balancers may have turned lanes). The default crossbar reports its
+    per-socket links through :class:`SocketStats` instead and leaves
+    ``RunResult.edges`` empty — the exported JSON of the default fabric
+    is pinned byte-for-byte by ``tests/golden/hotpath``.
+    """
+
+    name: str
+    a: str
+    b: str
+    lanes_ab: int
+    lanes_ba: int
+    bytes_ab: int
+    bytes_ba: int
+    packets_ab: int
+    packets_ba: int
+    lane_turns: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved over the edge, both directions."""
+        return self.bytes_ab + self.bytes_ba
+
+
+@dataclass
 class RunResult:
     """Everything an experiment needs to know about one simulation."""
 
@@ -70,6 +99,10 @@ class RunResult:
     link_timelines: dict[str, TimeSeries] = field(default_factory=dict)
     partition_timelines: dict[str, TimeSeries] = field(default_factory=dict)
     kernel_launch_times: list[int] = field(default_factory=list)
+    #: per-edge fabric stats; populated only on multi-hop topologies.
+    edges: list[EdgeStats] = field(default_factory=list)
+    #: packets by route hop count; empty on the default crossbar.
+    hop_histogram: dict[int, int] = field(default_factory=dict)
 
     def speedup_over(self, baseline: "RunResult") -> float:
         """How much faster this run is than ``baseline`` (>1 = faster)."""
@@ -87,8 +120,23 @@ class RunResult:
 
     @property
     def total_lane_turns(self) -> int:
-        """Lane reversals performed across all links."""
+        """Lane reversals performed across the fabric.
+
+        On multi-hop topologies the per-socket view double-counts (every
+        edge touches two nodes), so the per-edge stats are authoritative
+        when present.
+        """
+        if self.edges:
+            return sum(e.lane_turns for e in self.edges)
         return sum(s.lane_turns for s in self.sockets)
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean route length of fabric packets (0.0 on the crossbar)."""
+        total = sum(self.hop_histogram.values())
+        if not total:
+            return 0.0
+        return sum(h * c for h, c in self.hop_histogram.items()) / total
 
     @property
     def total_dram_bytes(self) -> int:
@@ -113,10 +161,9 @@ def collect_results(system: "NumaGpuSystem", workload_name: str) -> RunResult:
     sockets = []
     for socket in system.sockets:
         if system.switch is not None:
-            link = system.switch.links[socket.socket_id]
-            egress = link.stats["egress_bytes"]
-            ingress = link.stats["ingress_bytes"]
-            turns = link.stats["lane_turns"]
+            egress, ingress, turns = system.switch.socket_traffic(
+                socket.socket_id
+            )
         else:
             egress = ingress = turns = 0
         sockets.append(
@@ -148,24 +195,34 @@ def collect_results(system: "NumaGpuSystem", workload_name: str) -> RunResult:
         if controller.timeline is not None:
             partition_timelines[controller.timeline.name] = controller.timeline
     launcher = system.launcher
+    fabric = system.switch
     return RunResult(
         workload=workload_name,
         config_label=_config_label(system),
         cycles=system.engine.now,
         n_sockets=system.config.n_sockets,
         sockets=sockets,
-        switch_bytes=system.switch.total_bytes if system.switch else 0,
+        switch_bytes=fabric.total_bytes if fabric else 0,
         migrations=system.page_table.migrations,
         kernels=launcher.stats["kernels_completed"] if launcher else 0,
         link_timelines=link_timelines,
         partition_timelines=partition_timelines,
         kernel_launch_times=list(launcher.kernel_launch_times) if launcher else [],
+        edges=fabric.edge_stats() if fabric else [],
+        hop_histogram=fabric.hop_histogram() if fabric else {},
     )
 
 
 def _config_label(system: "NumaGpuSystem") -> str:
     cfg = system.config
-    return (
+    label = (
         f"{cfg.n_sockets}s/{cfg.cta_policy.value}/{cfg.placement.value}/"
         f"{cfg.cache_arch.value}/{cfg.link_policy.value}"
     )
+    # The crossbar is the paper default: an explicit crossbar spec is
+    # byte-identical to no topology at all (goldens), so only non-default
+    # fabrics annotate the label.
+    topo = cfg.topology
+    if topo is not None and topo.kind != "crossbar":
+        label += f"/{topo.name}"
+    return label

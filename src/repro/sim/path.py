@@ -44,6 +44,23 @@ replaced, which pins three rules:
    are order-insensitive sums, but keeping the points identical makes
    the equivalence argument purely mechanical).
 
+Multi-hop fabrics (DESIGN.md, "Topology layer")
+-----------------------------------------------
+``self.switch`` is the system *fabric*: the crossbar ``Switch`` by
+default, or a :class:`repro.topology.fabric.MultiHopFabric` when the
+config carries a non-crossbar topology. Either way a link crossing is
+one ``send_bytes`` call from a stage body: the fabric holds a
+precompiled per-``(src, dst)`` *hop program* — a tuple of prebound
+zero-state ``admit`` stages resolved from the deterministic routing
+tables — and admits every hop closed-form at the send event (the
+crossbar's own two-hop convention generalized). The program spans only
+FIFO bandwidth admissions and pure latency, so rule 1 holds on every
+topology: the walker's shared-state stages (probes, fills, MSHR
+completion) stay engine events at their exact cycles, and only the
+arrival time fed to the next stage changes with the topology. Home
+sockets are resolved through ``fabric.owners`` (socket id -> socket),
+which every fabric provides.
+
 Stage map (stepwise handler -> walker stage, one engine event each):
 
 ====================================  ==========================
@@ -98,7 +115,7 @@ class ReadPath:
         "l2_fill",
         "dram",
         "switch",
-        "links",
+        "owners",
         "noc_latency",
         "hit_tail",
         "holds_remote",
@@ -135,7 +152,7 @@ class ReadPath:
         self.l2_fill = socket.l2.fill_fast
         self.dram = socket.dram
         self.switch = socket.switch
-        self.links = socket.switch.links if socket.switch is not None else None
+        self.owners = socket.switch.owners if socket.switch is not None else None
         self.noc_latency = socket.noc_latency
         #: quoted pure-latency tail of an L2 hit (hit latency + NoC hop).
         self.hit_tail = socket._l2_hit_latency + socket.noc_latency
@@ -233,7 +250,7 @@ class ReadPath:
         arrival = self.switch.send_bytes(
             engine.now, self.socket_id, self.home_id, CONTROL_BYTES
         )
-        self.home = self.links[self.home_id].owner
+        self.home = self.owners[self.home_id]
         buckets = self.buckets
         bucket = buckets.get(arrival)
         if bucket is None:
@@ -396,7 +413,7 @@ class WritePath:
         "l2_fill",
         "dram",
         "switch",
-        "links",
+        "owners",
         "l2_lat",
         "l2_write_through",
         "caches_remote_writes",
@@ -427,7 +444,7 @@ class WritePath:
         self.l2_fill = socket.l2.fill_fast
         self.dram = socket.dram
         self.switch = socket.switch
-        self.links = socket.switch.links if socket.switch is not None else None
+        self.owners = socket.switch.owners if socket.switch is not None else None
         self.l2_lat = socket._l2_hit_latency
         self.l2_write_through = socket._l2_write_through
         self.caches_remote_writes = socket._caches_remote_writes
@@ -531,7 +548,7 @@ class WritePath:
         arrival = self.switch.send_bytes(
             engine.now, self.socket_id, self.home_id, DATA_BYTES
         )
-        self.home = self.links[self.home_id].owner
+        self.home = self.owners[self.home_id]
         buckets = self.buckets
         bucket = buckets.get(arrival)
         if bucket is None:

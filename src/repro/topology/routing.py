@@ -1,0 +1,160 @@
+"""Deterministic shortest-path routing over a :class:`TopologySpec`.
+
+Routes are precomputed once per fabric: a breadth-first search per
+destination yields hop-count distances, and the next hop from every node
+is the *smallest-indexed* neighbour that lies on a shortest path. The
+tie-break is total and fixed, so for a given spec the full routing table
+is a pure function of the graph — two fabrics built from equal specs
+route identically, which is what makes multi-topology experiments
+reproducible (see DESIGN.md, "Topology layer").
+
+Hop counts (and therefore the simulated timing of every transfer) are
+invariant under node relabelling; the *chosen* path between equal-length
+alternatives follows the node indices by construction, which is exactly
+the determinism the routing tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.topology.spec import TopologySpec
+
+
+@dataclass(frozen=True)
+class RoutingTables:
+    """Precomputed next-hop and distance tables over node indices.
+
+    ``next_hop[u][d]`` is the neighbour of ``u`` on the chosen shortest
+    path toward ``d`` (``-1`` on the diagonal); ``hop_count[u][d]`` is
+    the number of edges crossed.
+    """
+
+    next_hop: tuple[tuple[int, ...], ...]
+    hop_count: tuple[tuple[int, ...], ...]
+
+    def route(self, src: int, dst: int) -> tuple[int, ...]:
+        """The full node-index path ``src .. dst`` (inclusive)."""
+        path = [src]
+        node = src
+        while node != dst:
+            node = self.next_hop[node][dst]
+            path.append(node)
+        return tuple(path)
+
+    def diameter(self, n_sockets: int) -> int:
+        """Maximum socket-to-socket hop count."""
+        return max(
+            self.hop_count[s][d]
+            for s in range(n_sockets)
+            for d in range(n_sockets)
+        )
+
+    def mean_socket_hops(self, n_sockets: int) -> float:
+        """Mean hops over all ordered distinct socket pairs."""
+        pairs = [
+            self.hop_count[s][d]
+            for s in range(n_sockets)
+            for d in range(n_sockets)
+            if s != d
+        ]
+        return sum(pairs) / len(pairs) if pairs else 0.0
+
+
+def compute_routes(spec: TopologySpec) -> RoutingTables:
+    """BFS shortest paths with the fixed smallest-node-id tie-break."""
+    adjacency = spec.adjacency()
+    n = spec.n_nodes
+    next_hop: list[list[int]] = []
+    hop_count: list[list[int]] = []
+    for dst in range(n):
+        # Distance-to-dst via BFS from the destination.
+        dist = [-1] * n
+        dist[dst] = 0
+        frontier = [dst]
+        while frontier:
+            nxt: list[int] = []
+            for node in frontier:
+                d = dist[node] + 1
+                for peer in adjacency[node]:
+                    if dist[peer] < 0:
+                        dist[peer] = d
+                        nxt.append(peer)
+            frontier = nxt
+        if any(d < 0 for d in dist):  # pragma: no cover - spec validates
+            raise ConfigError(f"topology {spec.name!r} is disconnected")
+        hops_col = []
+        next_col = []
+        for u in range(n):
+            hops_col.append(dist[u])
+            if u == dst:
+                next_col.append(-1)
+                continue
+            # Fixed tie-break: the smallest-indexed neighbour one step
+            # closer to dst. adjacency() is sorted, so the first match
+            # is the minimum.
+            chosen = -1
+            for peer in adjacency[u]:
+                if dist[peer] == dist[u] - 1:
+                    chosen = peer
+                    break
+            next_col.append(chosen)
+        next_hop.append(next_col)
+        hop_count.append(hops_col)
+    # Transpose: computed per-destination, stored as [src][dst].
+    return RoutingTables(
+        next_hop=tuple(
+            tuple(next_hop[dst][src] for dst in range(n)) for src in range(n)
+        ),
+        hop_count=tuple(
+            tuple(hop_count[dst][src] for dst in range(n)) for src in range(n)
+        ),
+    )
+
+
+def bisection_cut(spec: TopologySpec) -> tuple[int, ...]:
+    """Edge indices crossing the canonical half-split of the sockets.
+
+    The canonical cut puts sockets ``0 .. n/2 - 1`` on the low side and
+    the rest on the high side; each router joins the side of its nearest
+    socket (multi-source BFS, ties broken by smallest socket id). This
+    is the conventional bisection for every standard builder (ring,
+    mesh rows, packages under a trunk) — a labelled cut, not a true
+    min-cut, which is what the bisection-utilization metric wants: the
+    same named cut measured across configurations.
+    """
+    n = spec.n_nodes
+    n_sockets = spec.n_sockets
+    adjacency = spec.adjacency()
+    # nearest[u] = (distance, socket id) of the closest socket.
+    nearest: list[tuple[int, int] | None] = [None] * n
+    frontier = []
+    for s in range(n_sockets):
+        nearest[s] = (0, s)
+        frontier.append(s)
+    while frontier:
+        nxt: list[int] = []
+        for node in frontier:
+            dist, owner = nearest[node]  # type: ignore[misc]
+            for peer in adjacency[node]:
+                candidate = (dist + 1, owner)
+                if nearest[peer] is None or candidate < nearest[peer]:
+                    nearest[peer] = candidate
+                    nxt.append(peer)
+        frontier = nxt
+    half = n_sockets - n_sockets // 2  # low side gets the extra socket
+    index = {node: i for i, node in enumerate(spec.nodes)}
+    low = {i for i in range(n) if nearest[i] is not None and nearest[i][1] < half}
+    return tuple(
+        e
+        for e, edge in enumerate(spec.edges)
+        if (index[edge.a] in low) != (index[edge.b] in low)
+    )
+
+
+def bisection_bandwidth(spec: TopologySpec) -> float:
+    """Aggregate bytes/cycle across the canonical cut (both directions)."""
+    return sum(
+        2 * spec.edges[e].link.direction_bandwidth for e in bisection_cut(spec)
+    )

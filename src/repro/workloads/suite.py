@@ -864,6 +864,47 @@ COMPACT_SET: tuple[str, ...] = (
 
 assert all(name in SUITE for name in COMPACT_SET)
 
+#: A mid-sized tier between COMPACT_SET and the full suite: every
+#: behavioural class with two-or-three representatives plus the full
+#: grey-box set. This is what the small-tier CI job runs when enough
+#: workers are available (``run_experiments.py --workloads auto``) —
+#: the staging point toward the full 41-workload small grid.
+EXTENDED_SET: tuple[str, ...] = COMPACT_SET + (
+    "ML-AlexNet-cudnn-Lev4",
+    "ML-AlexNet-ConvNet2",
+    "ML-OverFeat-cudnn-Lev3",
+    "Rodinia-Backprop",
+    "Rodinia-Gaussian",
+    "Rodinia-Pathfinder",
+    "Rodinia-Srad",
+    "HPC-Lulesh",
+    "HPC-MiniContact-Mesh1",
+    "HPC-Nekbone-Large",
+    "HPC-HPGMG",
+    "Lonestar-MST-Graph",
+    "Lonestar-SP",
+    "Other-Bitcoin-Crypto",
+)
+
+assert all(name in SUITE for name in EXTENDED_SET)
+assert len(set(EXTENDED_SET)) == len(EXTENDED_SET)
+
+#: The topology-study cross-section: one workload per traffic shape the
+#: fabric experiments care about — broadcast-shared conv, random graph
+#: frontier, thin-halo stencil, link-saturating SpMV, master-homed
+#: lookup tables, and pure streaming. Used by the ``topology``
+#: experiment driver and the topology-smoke CI job.
+TOPOLOGY_SET: tuple[str, ...] = (
+    "ML-GoogLeNet-cudnn-Lev2",
+    "Rodinia-BFS",
+    "Rodinia-Hotspot",
+    "HPC-AMG",
+    "HPC-RSBench",
+    "Other-Stream-Triad",
+)
+
+assert all(name in SUITE for name in TOPOLOGY_SET)
+
 
 def get_workload(name: str) -> WorkloadSpec:
     """Look up one workload; raises WorkloadError with suggestions."""

@@ -58,8 +58,35 @@ def test_trace_command(tmp_path, capsys):
 def test_every_experiment_is_registered():
     for figure in ("table1", "table2", "figure2", "figure3", "figure5",
                    "figure6", "figure8", "figure9", "figure10", "figure11",
-                   "switch_time", "writeback", "power"):
+                   "switch_time", "writeback", "power", "topology"):
         assert figure in EXPERIMENTS
+
+
+def test_run_command_with_topology(capsys):
+    code = main([
+        "run", "Lonestar-SP", "--sockets", "4", "--scale", "tiny",
+        "--topology", "ring",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean_hops" in out
+    assert "gpu0-gpu1" in out
+
+
+def test_topology_describe_command(capsys):
+    assert main(["topology", "describe", "switch_tree", "--sockets", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "switch_tree8x2" in out
+    assert "pkg0-root" in out
+    assert "diameter: 4 hops" in out
+    assert "bisection bandwidth" in out
+
+
+def test_parser_rejects_bad_topology():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["topology", "describe", "torus"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "HPC-AMG", "--topology", "torus"])
 
 
 def test_unknown_workload_is_an_error():

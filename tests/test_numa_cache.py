@@ -25,6 +25,7 @@ def build_controller(sample_time=1000, record=False):
     table = PageTable(config)
     switch = Switch(2, config.link, engine)
     sockets = [GpuSocket(s, config, engine, table, switch) for s in range(2)]
+    switch.owners = list(sockets)
     for link, socket in zip(switch.links, sockets):
         link.owner = socket
     controller = CachePartitionController(

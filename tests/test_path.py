@@ -38,6 +38,7 @@ def build_pair(cache_arch=CacheArch.MEM_SIDE, write_policy=WritePolicy.WRITE_BAC
     table = PageTable(config)
     switch = Switch(2, config.link, engine)
     sockets = [GpuSocket(s, config, engine, table, switch) for s in range(2)]
+    switch.owners = list(sockets)
     for link, socket in zip(switch.links, sockets):
         link.owner = socket
     return sockets, engine, table

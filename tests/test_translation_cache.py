@@ -29,6 +29,7 @@ def build_sockets(placement=PlacementPolicy.FIRST_TOUCH, n_sockets=2):
         GpuSocket(s, config, engine, table, switch) for s in range(n_sockets)
     ]
     if switch is not None:
+        switch.owners = list(sockets)
         for link, socket in zip(switch.links, sockets):
             link.owner = socket
     return config, engine, table, sockets
