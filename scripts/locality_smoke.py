@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Locality smoke: distance-aware policies vs the distance-blind baseline.
+
+The CI companion of the locality subsystem: runs the compact workload
+cross-section (``repro.workloads.suite.COMPACT_SET``) through the
+``locality`` experiment driver — ``distance_weighted_first_touch`` +
+``distance_affine`` against the distance-blind ``first_touch`` +
+``contiguous`` baseline on the same fabric — and asserts the headline
+claim of the locality layer end-to-end:
+
+* packet-weighted mean hops drop versus the distance-blind baseline on
+  every (fabric, socket count) cell,
+* the mean remote-access fraction does not regress,
+* the distance-weighted policy actually re-homes pages (its counters
+  are live), and the run is not pathologically slower than baseline.
+
+It also measures cold events/sec over the whole smoke grid so the
+measurement can be recorded into ``BENCH_hotpath.json``'s ``history``
+series (the PR 3 protocol: one entry per PR and series; the recorded
+entry carries the per-cell mean-hop numbers as provenance for the
+ring/mesh gap claim).
+
+Usage::
+
+    PYTHONPATH=src python scripts/locality_smoke.py                # CI: ring@8
+    PYTHONPATH=src python scripts/locality_smoke.py --kinds ring mesh2d \\
+        --sockets 8 16 --append-history "PR 5"     # the full 8-16 record
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.harness import experiments as E
+from repro.harness.parallel import ParallelRunner, resolve_jobs
+from repro.harness.runner import ExperimentContext
+from repro.sim.instrumentation import SIM_TALLY
+from repro.workloads.spec import SCALES
+from repro.workloads.suite import COMPACT_SET
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: The headline policy pairing the acceptance gate is about.
+SMOKE_POLICIES = (("distance_weighted_first_touch", "distance_affine"),)
+
+
+def run_smoke(scale: str, jobs: int, kinds: tuple[str, ...],
+              sockets: tuple[int, ...]) -> dict:
+    """Run the locality grid, verify the headline claim, report timing."""
+    ctx = ExperimentContext(scale=SCALES[scale])
+
+    def driver(c):
+        return E.locality_sweep(
+            c,
+            workloads=COMPACT_SET,
+            kinds=kinds,
+            socket_counts=sockets,
+            policies=SMOKE_POLICIES,
+        )
+
+    SIM_TALLY.reset()
+    t0 = time.perf_counter()
+    if jobs > 1:
+        # Fan out cold; events/sec is then reported from the suite wall
+        # (workers' engine-drain tallies live in their own processes).
+        ParallelRunner(ctx, jobs=jobs).prewarm_experiments([driver])
+        result = driver(ctx)  # warm cache
+        wall = time.perf_counter() - t0
+        events = 0
+    else:
+        result = driver(ctx)
+        wall = time.perf_counter() - t0
+        events = SIM_TALLY.snapshot()["events"]
+
+    cells = {}
+    for cell in result.cells:
+        key = f"{cell.placement}+{cell.cta}/{cell.kind}/{cell.n_sockets}s"
+        assert cell.baseline_mean_hops > 1.0, (
+            f"{key}: distance-blind baseline routed no multi-hop traffic "
+            "— the smoke grid is not exercising the fabric"
+        )
+        assert cell.mean_hops < cell.baseline_mean_hops, (
+            f"{key}: packet-weighted mean hops did not drop "
+            f"({cell.mean_hops:.3f} vs blind {cell.baseline_mean_hops:.3f})"
+        )
+        # Affinity assignment trades a little remote fraction for much
+        # shorter routes on some grids, so the guard is a tolerance, not
+        # a strict monotone: remote accesses must not *blow up*.
+        assert cell.remote_fraction <= cell.baseline_remote_fraction + 0.02, (
+            f"{key}: remote-access fraction regressed "
+            f"({cell.remote_fraction:.4f} vs "
+            f"{cell.baseline_remote_fraction:.4f})"
+        )
+        assert cell.re_homed_pages > 0, (
+            f"{key}: distance-weighted policy never re-homed a page"
+        )
+        assert cell.speedup > 0.9, (
+            f"{key}: distance-aware policies cost more than 10% "
+            f"({cell.speedup:.3f}x)"
+        )
+        cells[key] = {
+            "speedup_vs_blind": round(cell.speedup, 4),
+            "mean_hops": round(cell.mean_hops, 4),
+            "baseline_mean_hops": round(cell.baseline_mean_hops, 4),
+            "remote_fraction": round(cell.remote_fraction, 4),
+            "baseline_remote_fraction": round(
+                cell.baseline_remote_fraction, 4
+            ),
+            "re_homed_pages": cell.re_homed_pages,
+        }
+    return {
+        "scale": scale,
+        "jobs": jobs,
+        "kinds": list(kinds),
+        "sockets": list(sockets),
+        "workloads": len(COMPACT_SET),
+        "simulations": ctx.cached_runs,
+        "cells": cells,
+        "events": events,
+        "wall_seconds": round(wall, 3),
+        "events_per_second": round(events / wall, 1) if events and wall else 0.0,
+    }
+
+
+def append_history(record: dict, label: str) -> None:
+    """Append the smoke measurement to BENCH_hotpath.json's history."""
+    bench = {}
+    if BENCH_PATH.exists():
+        try:
+            bench = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            bench = {}
+    history = bench.setdefault("history", [])
+    history.append(
+        {
+            "label": label,
+            "source": "locality-smoke (cold, serial)",
+            "scale": record["scale"],
+            "events": record["events"],
+            "events_per_second": record["events_per_second"],
+            "locality_cells": record["cells"],
+            "recorded_at": time.strftime("%Y-%m-%d"),
+        }
+    )
+    BENCH_PATH.write_text(json.dumps(bench, indent=1, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", default="small", choices=sorted(SCALES),
+        help="workload scale for the smoke grid (default: small)",
+    )
+    parser.add_argument(
+        "--kinds", nargs="+", default=["ring"],
+        choices=["ring", "mesh2d", "switch_tree"],
+        help="multi-hop fabrics to sweep (default: ring)",
+    )
+    parser.add_argument(
+        "--sockets", nargs="+", type=int, default=[8],
+        help="socket counts to sweep (default: 8)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes (default: $REPRO_JOBS or 1; 0 = one per "
+        "CPU); events/sec is only measured on serial runs",
+    )
+    parser.add_argument(
+        "--append-history", metavar="LABEL", default=None,
+        help="append this measurement to BENCH_hotpath.json's history "
+        "(requires a serial run so engine tallies are measured)",
+    )
+    args = parser.parse_args(argv)
+    jobs = resolve_jobs(args.jobs)
+    record = run_smoke(
+        args.scale, jobs, tuple(args.kinds), tuple(args.sockets)
+    )
+    print(f"locality smoke: {json.dumps(record)}")
+    if args.append_history:
+        if not record["events"]:
+            parser.error("--append-history needs a serial run (--jobs 1)")
+        append_history(record, args.append_history)
+        print(f"history += {args.append_history!r} -> {BENCH_PATH.name}")
+    print(
+        f"OK: {len(record['cells'])} locality cells verified on "
+        f"{'+'.join(args.kinds)} at {args.scale} scale "
+        f"(mean hops drop on every cell)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,12 @@ SAMPLE_TIMES = (500, 1000, 5000, 20000)
 TOPOLOGY_KINDS = ("ring", "mesh2d", "switch_tree")
 TOPOLOGY_SOCKETS = (2, 4, 8, 16)
 
+#: Locality sweep grid: the distance-aware policies on the multi-hop
+#: fabrics at the socket counts where the ring/mesh gap shows (the
+#: distance-blind baselines are shared with the topology sweep's cache).
+LOCALITY_KINDS = ("ring", "mesh2d")
+LOCALITY_SOCKETS = (8, 16)
+
 
 def resolve_workloads(selection: str, jobs: int) -> tuple[str, ...] | None:
     """Map a ``--workloads`` choice to a workload tuple (None = full).
@@ -159,6 +165,13 @@ def main(argv: list[str] | None = None) -> int:
             kinds=TOPOLOGY_KINDS,
             socket_counts=TOPOLOGY_SOCKETS,
         ),
+        # The locality sweep also pins its compact TOPOLOGY_SET grid.
+        "locality": lambda c: E.locality_sweep(
+            c,
+            workloads=TOPOLOGY_SET,
+            kinds=LOCALITY_KINDS,
+            socket_counts=LOCALITY_SOCKETS,
+        ),
     }
 
     if jobs > 1:
@@ -244,6 +257,21 @@ def main(argv: list[str] | None = None) -> int:
         for c in topo.cells
     }
     print("topology done", round(time.time() - t0), flush=True)
+
+    loc = drivers["locality"](ctx)
+    out["locality"] = {
+        f"{c.placement}+{c.cta}/{c.kind}/{c.n_sockets}s": {
+            "speedup_vs_blind": c.speedup,
+            "mean_hops": c.mean_hops,
+            "baseline_mean_hops": c.baseline_mean_hops,
+            "remote_fraction": c.remote_fraction,
+            "baseline_remote_fraction": c.baseline_remote_fraction,
+            "migrations": c.migrations,
+            "re_homed_pages": c.re_homed_pages,
+        }
+        for c in loc.cells
+    }
+    print("locality done", round(time.time() - t0), flush=True)
 
     st = drivers["switch_time"](ctx)
     out["switch_time"] = st.mean_speedup

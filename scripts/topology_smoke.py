@@ -1,10 +1,10 @@
 #!/usr/bin/env python
-"""Topology smoke: the compact suite on ring and switch_tree fabrics.
+"""Topology smoke: the compact suite on ring, mesh2d, and switch_tree.
 
 The CI companion of the topology subsystem: runs the compact workload
-cross-section (``repro.workloads.suite.COMPACT_SET``) on the ``ring``
-and ``switch_tree`` topologies at a paper-relevant scale (default:
-``small``), sanity-checks the multi-hop machinery end-to-end —
+cross-section (``repro.workloads.suite.COMPACT_SET``) on the ``ring``,
+``mesh2d``, and ``switch_tree`` topologies at a paper-relevant scale
+(default: ``small``), sanity-checks the multi-hop machinery end-to-end —
 
 * per-edge stats are exported for every multi-hop run and cover every
   spec edge,
@@ -41,9 +41,12 @@ from repro.workloads.suite import COMPACT_SET
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 
-#: The smoke grid: both hierarchy shapes the subsystem introduces, at
-#: the socket counts CI can afford at small scale.
-SMOKE_KINDS = ("ring", "switch_tree")
+#: The smoke grid: every multi-hop shape the subsystem introduces —
+#: ring, 2-D mesh, and chiplet tree — at the socket counts CI can
+#: afford at small scale (the mesh's conservation checks run on the
+#: same hop-histogram / per-edge-crossing agreement asserts as the
+#: other fabrics).
+SMOKE_KINDS = ("ring", "mesh2d", "switch_tree")
 SMOKE_SOCKETS = (2, 4)
 
 

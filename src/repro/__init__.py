@@ -36,6 +36,7 @@ from repro.config import (
 )
 from repro.core.builder import build_system, run_workload_on
 from repro.gpu.system import NumaGpuSystem
+from repro.locality import CtaSpec, DistanceModel, PlacementSpec
 from repro.metrics.report import RunResult, arithmetic_mean, geometric_mean
 from repro.power.interconnect_power import estimate_power
 from repro.workloads.spec import MEDIUM, SMALL, TINY, WorkloadScale, WorkloadSpec
@@ -60,6 +61,9 @@ __all__ = [
     "build_system",
     "run_workload_on",
     "NumaGpuSystem",
+    "CtaSpec",
+    "DistanceModel",
+    "PlacementSpec",
     "RunResult",
     "arithmetic_mean",
     "geometric_mean",

@@ -24,9 +24,17 @@ from repro.config import (
     scaled_config,
 )
 from repro.core.builder import run_workload_on
+from repro.errors import ConfigError
 from repro.harness import experiments
 from repro.harness.formatting import format_table
 from repro.harness.runner import ExperimentContext
+from repro.locality import (
+    CTA_KINDS,
+    PLACEMENT_KINDS,
+    CtaSpec,
+    DistanceModel,
+    PlacementSpec,
+)
 from repro.metrics.export import run_to_dict
 from repro.topology.routing import bisection_bandwidth, bisection_cut, compute_routes
 from repro.topology.spec import BUILDERS as TOPOLOGY_KINDS
@@ -51,6 +59,7 @@ EXPERIMENTS = {
     "writeback": experiments.writeback_sensitivity,
     "power": experiments.power_analysis,
     "topology": experiments.topology_sweep,
+    "locality": experiments.locality_sweep,
 }
 
 
@@ -81,13 +90,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--placement",
-        choices=[p.value for p in PlacementPolicy],
+        choices=sorted(PLACEMENT_KINDS),
         default=PlacementPolicy.FIRST_TOUCH.value,
+        help="page-placement policy (repro.locality registry; includes "
+        "the distance-aware distance_weighted_first_touch and "
+        "access_counter_migration)",
     )
     run.add_argument(
         "--cta-policy",
-        choices=[p.value for p in CtaPolicy],
+        choices=sorted(CTA_KINDS),
         default=CtaPolicy.CONTIGUOUS.value,
+        help="CTA-assignment policy (repro.locality registry; includes "
+        "the affinity-aware distance_affine)",
     )
     run.add_argument(
         "--topology",
@@ -106,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     describe.add_argument("kind", choices=sorted(TOPOLOGY_KINDS))
     describe.add_argument("--sockets", type=int, default=4)
+    describe.add_argument(
+        "--distances",
+        action="store_true",
+        help="also print the DistanceModel the locality policies consume "
+        "(hop matrix + per-pair bottleneck bandwidth)",
+    )
 
     exp = sub.add_parser("experiment", help="run a table/figure driver")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -139,25 +159,63 @@ def cmd_list() -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
+    if args.topology and args.sockets < 2:
+        # Multi-node specs need at least two sockets; reject up front
+        # with a clean message instead of surfacing the spec builder's
+        # traceback (the last construction-asymmetry remnant: a 1-socket
+        # system never builds a fabric, so the spec would be unused even
+        # if it could be built).
+        print(
+            f"error: --topology {args.topology} needs at least 2 sockets "
+            f"(got --sockets {args.sockets}); a single-socket system has "
+            "no interconnect",
+            file=sys.stderr,
+        )
+        return 2
+    # Historical enum names keep configuring the enum fields (identical
+    # config fingerprints to older CLI runs); registry-only kinds ride
+    # in via the declarative locality specs.
+    enum_placements = {p.value for p in PlacementPolicy}
+    enum_ctas = {p.value for p in CtaPolicy}
     base = scaled_config(n_sockets=args.sockets)
-    config = replace(
-        base,
-        cache_arch=CacheArch(args.cache),
-        link_policy=LinkPolicy(args.links),
-        placement=PlacementPolicy(args.placement),
-        cta_policy=CtaPolicy(args.cta_policy),
-        topology=(
-            build_topology(args.topology, args.sockets, base.link)
-            if args.topology
-            else None
-        ),
-    )
+    try:
+        config = replace(
+            base,
+            cache_arch=CacheArch(args.cache),
+            link_policy=LinkPolicy(args.links),
+            placement=(
+                PlacementPolicy(args.placement)
+                if args.placement in enum_placements
+                else base.placement
+            ),
+            placement_spec=(
+                None
+                if args.placement in enum_placements
+                else PlacementSpec(kind=args.placement)
+            ),
+            cta_policy=(
+                CtaPolicy(args.cta_policy)
+                if args.cta_policy in enum_ctas
+                else base.cta_policy
+            ),
+            cta_spec=(
+                None
+                if args.cta_policy in enum_ctas
+                else CtaSpec(kind=args.cta_policy)
+            ),
+            topology=(
+                build_topology(args.topology, args.sockets, base.link)
+                if args.topology
+                else None
+            ),
+        )
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     workload = get_workload(args.workload)
     result = run_workload_on(config, workload, SCALES[args.scale])
     for key, value in run_to_dict(result).items():
         print(f"{key:16s} {value}")
-    if result.hop_histogram:
-        print(f"{'mean_hops':16s} {result.mean_hops:.3f}")
     for edge in result.edges:
         print(
             f"{'edge':16s} {edge.name}: {edge.bytes_ab}B ->, "
@@ -206,6 +264,32 @@ def cmd_topology_describe(args: argparse.Namespace) -> int:
           f"mean socket distance: {routes.mean_socket_hops(n):.2f} hops")
     print(f"bisection bandwidth (canonical cut, both directions): "
           f"{bisection_bandwidth(spec):.0f} B/cyc")
+    if args.distances:
+        model = DistanceModel.from_spec(spec)
+        hop_matrix = [
+            [spec.sockets[s]] + list(model.hops[s]) for s in range(n)
+        ]
+        print(format_table(
+            ["hops"] + list(spec.sockets),
+            hop_matrix,
+            title="Distance model: hop matrix (what the locality "
+            "policies weight by)",
+        ))
+        bw_matrix = [
+            [spec.sockets[s]]
+            + [
+                "-" if s == d else f"{model.min_bandwidth[s][d]:.0f}"
+                for d in range(n)
+            ]
+            for s in range(n)
+        ]
+        print(format_table(
+            ["B/cyc"] + list(spec.sockets),
+            bw_matrix,
+            title="Distance model: bottleneck bandwidth per route "
+            "(min over crossed edges, per direction)",
+        ))
+        print(f"mean socket distance (model): {model.mean_hops():.2f} hops")
     return 0
 
 

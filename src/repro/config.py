@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING
 from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.locality.spec import CtaSpec, PlacementSpec
     from repro.topology.spec import TopologySpec
 
 #: Cache line size used throughout the paper (bytes).
@@ -210,6 +211,16 @@ class SystemConfig:
     #: The annotation is a string to keep :mod:`repro.config` importable
     #: before :mod:`repro.topology` (which imports LinkConfig from here).
     topology: "TopologySpec | None" = None  # noqa: F821
+    #: optional declarative locality policies
+    #: (:class:`repro.locality.spec.PlacementSpec` / ``CtaSpec``). ``None``
+    #: means "the policy the ``placement`` / ``cta_policy`` enum names";
+    #: a spec *overrides* its enum (see :attr:`placement_kind` /
+    #: :attr:`cta_kind`), selecting from the registries in
+    #: :mod:`repro.locality` — including the distance-aware policies the
+    #: enums cannot name. String annotations for the same import-order
+    #: reason as ``topology``.
+    placement_spec: "PlacementSpec | None" = None  # noqa: F821
+    cta_spec: "CtaSpec | None" = None  # noqa: F821
 
     def __post_init__(self) -> None:
         if self.n_sockets < 1:
@@ -229,6 +240,20 @@ class SystemConfig:
     def total_sms(self) -> int:
         """SMs across all sockets."""
         return self.n_sockets * self.gpu.sms
+
+    @property
+    def placement_kind(self) -> str:
+        """Effective page-placement policy kind (spec overrides enum)."""
+        if self.placement_spec is not None:
+            return self.placement_spec.kind
+        return self.placement.value
+
+    @property
+    def cta_kind(self) -> str:
+        """Effective CTA-assignment policy kind (spec overrides enum)."""
+        if self.cta_spec is not None:
+            return self.cta_spec.kind
+        return self.cta_policy.value
 
     def describe(self) -> dict[str, str]:
         """Table 1-style parameter dump (used by the table1 experiment)."""
@@ -345,8 +370,12 @@ def single_gpu_config(config: SystemConfig) -> SystemConfig:
         cache_arch=CacheArch.MEM_SIDE,
         link_policy=LinkPolicy.STATIC,
         # One socket has no interconnect; a multi-socket topology would
-        # otherwise fail the socket-count validation.
+        # otherwise fail the socket-count validation. Locality specs are
+        # dropped for the same reason the enums are overridden above: the
+        # single-GPU baseline is LOCAL_ONLY + contiguous by definition.
         topology=None,
+        placement_spec=None,
+        cta_spec=None,
     )
 
 

@@ -38,7 +38,7 @@ from collections import deque
 from heapq import heappush
 from typing import Callable
 
-from repro.config import CacheArch, PlacementPolicy, SystemConfig, WritePolicy
+from repro.config import CacheArch, SystemConfig, WritePolicy
 from repro.gpu.cta import CtaExecution, MemOp as _SingleOp, Slice
 from repro.gpu.sm import Sm
 from repro.interconnect.packets import DATA_BYTES
@@ -79,6 +79,7 @@ class GpuSocket:
         "_l2_write_through",
         "_caches_remote_writes",
         "_always_local",
+        "_fill_xlate",
         "_l1_refills",
         "_read_pool",
         "_write_pool",
@@ -179,8 +180,12 @@ class GpuSocket:
         # every access; that combination must keep using translate().
         self._always_local = (
             config.n_sockets == 1
-            and page_table.placement.policy is not PlacementPolicy.FIRST_TOUCH
+            and not page_table.placement.policy_obj.bills_single_socket_touch
         )
+        # Dynamic placement policies forbid filling the line->home cache:
+        # their re-home decisions count every touch, and a warm cache
+        # would hide exactly the accesses the counters need.
+        self._fill_xlate = page_table.cacheable
         # Pre-bound methods for the per-event handlers (one attribute
         # chain saved per call, millions of calls per run). All of these
         # targets are fixed for the socket's lifetime.
@@ -335,6 +340,7 @@ class GpuSocket:
         l1 = self._l1s[sm_index]
         l1_get = l1._where.get
         always_local = self._always_local
+        fill_xlate = self._fill_xlate
         xlate_get = self._xlate.get
         xlate = self._xlate
         socket_id = self.socket_id
@@ -389,12 +395,14 @@ class GpuSocket:
                 else:
                     home, migration_extra = translate(addr, socket_id)
                     is_local = home == socket_id
-                    if (
+                    if fill_xlate and (
                         migration_extra == 0
                         or not self.page_table.placement.is_first_touch(addr)
                     ):
                         # Cache only once the page's charge is settled; see
                         # the FIRST_TOUCH single-socket caveat in __init__.
+                        # Dynamic policies never fill (fill_xlate False):
+                        # every access must reach the touch counters.
                         xlate[line] = home
             if is_local:
                 n_local += 1
@@ -551,6 +559,12 @@ class GpuSocket:
         """Home socket of a cache line (translation-cache assisted)."""
         if self._always_local:
             return self.socket_id
+        if not self._fill_xlate:
+            # Dynamic placement: eviction/writeback routing must not feed
+            # the policy's touch counters — use the uncounted peek.
+            return self.page_table.peek_home(
+                line * self.line_size, self.socket_id
+            )
         cached = self._xlate.get(line)
         if cached is not None:
             return cached

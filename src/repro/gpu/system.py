@@ -15,6 +15,8 @@ from repro.config import CacheArch, LinkPolicy, SystemConfig
 from repro.core.link_policy import build_balancers
 from repro.core.numa_cache import CachePartitionController
 from repro.gpu.socket import GpuSocket
+from repro.locality.cta import build_cta_policy
+from repro.locality.distance import DistanceModel
 from repro.memory.page_table import PageTable
 from repro.topology.fabric import build_fabric
 from repro.metrics.report import RunResult, collect_results
@@ -52,6 +54,22 @@ class NumaGpuSystem:
             if links is not None:
                 for link, socket in zip(links, self.sockets):
                     link.owner = socket
+        # The locality layer: the fabric's distance model feeds both the
+        # placement policy (hop-weighted homing / migration charges) and
+        # the CTA-assignment policy (affinity-aware blocks). The default
+        # policies ignore it entirely, so the wiring is behaviourally
+        # inert on the paper's configuration (pinned by the goldens).
+        self.distance_model = (
+            self.switch.distance_model()
+            if self.switch is not None
+            else DistanceModel.identity(config.n_sockets)
+        )
+        self.page_table.attach_fabric(
+            self.switch, self.engine, self.distance_model
+        )
+        self.cta_policy = build_cta_policy(
+            config, page_table=self.page_table, distance=self.distance_model
+        )
         self.balancers = build_balancers(
             config,
             self.switch,
@@ -87,7 +105,7 @@ class NumaGpuSystem:
             engine=self.engine,
             sockets=self.sockets,
             kernels=kernels,
-            cta_policy=self.config.cta_policy,
+            cta_policy=self.cta_policy,
             launch_latency=self.config.kernel_launch_latency,
             on_kernel_launch=self._on_kernel_launch,
             on_workload_done=self._on_workload_done,

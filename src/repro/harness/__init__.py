@@ -9,6 +9,7 @@ from repro.harness.experiments import (
     figure9,
     figure10,
     figure11,
+    locality_sweep,
     power_analysis,
     run_all,
     switch_time_sensitivity,
@@ -36,6 +37,7 @@ __all__ = [
     "figure9",
     "figure10",
     "figure11",
+    "locality_sweep",
     "power_analysis",
     "run_all",
     "switch_time_sensitivity",

@@ -794,6 +794,189 @@ def topology_sweep(
 
 
 # ---------------------------------------------------------------------------
+# Locality sweep: placement x CTA policy x fabric x socket count
+# ---------------------------------------------------------------------------
+
+#: The default policy grid of the locality driver: the two distance-aware
+#: placements, the affinity-aware scheduler, and their headline pairing.
+LOCALITY_POLICIES: tuple[tuple[str, str], ...] = (
+    ("distance_weighted_first_touch", "contiguous"),
+    ("access_counter_migration", "contiguous"),
+    ("first_touch", "distance_affine"),
+    ("distance_weighted_first_touch", "distance_affine"),
+)
+
+
+@dataclass
+class LocalityCell:
+    """One (placement, cta, topology, socket count) aggregate."""
+
+    placement: str
+    cta: str
+    kind: str
+    n_sockets: int
+    speedup: float  # geomean vs the distance-blind baseline, same fabric
+    mean_hops: float  # packet-weighted, aggregated over the workloads
+    baseline_mean_hops: float
+    remote_fraction: float  # arithmetic mean over the workloads
+    baseline_remote_fraction: float
+    migrations: int
+    re_homed_pages: int
+
+    @property
+    def hops_delta(self) -> float:
+        """Packet-weighted mean-hop change vs the baseline (negative = better)."""
+        return self.mean_hops - self.baseline_mean_hops
+
+
+@dataclass
+class LocalitySweepResult:
+    """Placement x CTA policy x fabric x socket-count study.
+
+    Every cell is normalized to the *distance-blind* baseline
+    (``FIRST_TOUCH`` + ``contiguous``, no locality specs) on the same
+    fabric and socket count, so the columns read "what does
+    distance-awareness buy on this interconnect".
+    """
+
+    policies: tuple[tuple[str, str], ...]
+    kinds: tuple[str, ...]
+    socket_counts: tuple[int, ...]
+    cells: list[LocalityCell]
+    per_workload: dict[tuple[str, str, str, int], dict[str, float]]
+
+    def cell(self, placement: str, cta: str, kind: str,
+             n_sockets: int) -> LocalityCell:
+        """Lookup one aggregate cell."""
+        for cell in self.cells:
+            if (cell.placement, cell.cta, cell.kind, cell.n_sockets) == (
+                placement, cta, kind, n_sockets
+            ):
+                return cell
+        raise KeyError((placement, cta, kind, n_sockets))
+
+    def render(self) -> str:
+        rows = [
+            [
+                c.placement,
+                c.cta,
+                c.kind,
+                c.n_sockets,
+                f"{c.speedup:.3f}x",
+                f"{c.mean_hops:.3f}",
+                f"{c.baseline_mean_hops:.3f}",
+                f"{100 * c.remote_fraction:.1f}%",
+                f"{100 * c.baseline_remote_fraction:.1f}%",
+                c.re_homed_pages,
+            ]
+            for c in self.cells
+        ]
+        return format_table(
+            [
+                "Placement",
+                "CTA policy",
+                "Topology",
+                "Sockets",
+                "Speedup",
+                "Mean hops",
+                "(blind)",
+                "Remote",
+                "(blind)",
+                "Re-homes",
+            ],
+            rows,
+            title="Locality sweep: policy x fabric x socket count "
+            "(vs distance-blind first_touch/contiguous)",
+        )
+
+
+def _weighted_mean_hops(histogram: dict[int, int]) -> float:
+    total = sum(histogram.values())
+    if not total:
+        return 0.0
+    return sum(h * c for h, c in histogram.items()) / total
+
+
+def locality_sweep(
+    ctx: ExperimentContext,
+    workloads: tuple[str, ...] | None = None,
+    kinds: tuple[str, ...] = ("ring", "mesh2d"),
+    socket_counts: tuple[int, ...] = (8, 16),
+    policies: tuple[tuple[str, str], ...] = LOCALITY_POLICIES,
+) -> LocalitySweepResult:
+    """Placement x CTA policy x fabric x socket-count sweep.
+
+    The distance-blind baseline of every fabric/socket cell is the plain
+    topology config (``FIRST_TOUCH`` + ``contiguous``, no locality
+    specs) — the identical configuration the topology sweep runs, so
+    baselines come from (and warm) the shared result cache. Reported per
+    cell: geomean speedup, packet-weighted mean hops (aggregated route
+    histograms), mean remote-access fraction, and first-touch migration
+    / dynamic re-home totals.
+    """
+    names = workloads if workloads is not None else TOPOLOGY_SET
+    cells: list[LocalityCell] = []
+    per_workload: dict[tuple[str, str, str, int], dict[str, float]] = {}
+    for kind in kinds:
+        for k in socket_counts:
+            baseline = ctx.config_topology(kind, n_sockets=k)
+            base_hist: dict[int, int] = {}
+            base_remote: list[float] = []
+            base_results = {}
+            for name in names:
+                result = ctx.run(name, baseline)
+                base_results[name] = result
+                base_remote.append(result.total_remote_fraction)
+                for hops, count in result.hop_histogram.items():
+                    base_hist[hops] = base_hist.get(hops, 0) + count
+            for placement, cta in policies:
+                config = ctx.config_locality_policy(
+                    placement, cta, kind=kind, n_sockets=k
+                )
+                speedups: list[float] = []
+                remotes: list[float] = []
+                histogram: dict[int, int] = {}
+                migrations = 0
+                re_homed = 0
+                for name in names:
+                    result = ctx.run(name, config)
+                    speedup = result.speedup_over(base_results[name])
+                    speedups.append(speedup)
+                    remotes.append(result.total_remote_fraction)
+                    migrations += result.migrations
+                    re_homed += result.re_homed_pages
+                    for hops, count in result.hop_histogram.items():
+                        histogram[hops] = histogram.get(hops, 0) + count
+                    per_workload.setdefault(
+                        (placement, cta, kind, k), {}
+                    )[name] = speedup
+                cells.append(
+                    LocalityCell(
+                        placement=placement,
+                        cta=cta,
+                        kind=kind,
+                        n_sockets=k,
+                        speedup=geometric_mean(
+                            [max(s, 1e-9) for s in speedups]
+                        ),
+                        mean_hops=_weighted_mean_hops(histogram),
+                        baseline_mean_hops=_weighted_mean_hops(base_hist),
+                        remote_fraction=arithmetic_mean(remotes),
+                        baseline_remote_fraction=arithmetic_mean(base_remote),
+                        migrations=migrations,
+                        re_homed_pages=re_homed,
+                    )
+                )
+    return LocalitySweepResult(
+        policies=policies,
+        kinds=kinds,
+        socket_counts=socket_counts,
+        cells=cells,
+        per_workload=per_workload,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Section 6: power
 # ---------------------------------------------------------------------------
 
@@ -871,4 +1054,5 @@ def run_all(ctx: ExperimentContext) -> dict[str, object]:
         "writeback_sensitivity": writeback_sensitivity(ctx),
         "power": power_analysis(ctx),
         "topology": topology_sweep(ctx),
+        "locality": locality_sweep(ctx),
     }

@@ -32,6 +32,7 @@ from repro.config import (
     single_gpu_config,
 )
 from repro.core.builder import run_workload_on
+from repro.locality.spec import CtaSpec, PlacementSpec
 from repro.metrics.report import RunResult
 from repro.topology.spec import build_topology
 from repro.workloads.spec import SMALL, WorkloadScale
@@ -131,6 +132,39 @@ class ExperimentContext:
         )
         return replace(
             base, topology=build_topology(kind, base.n_sockets, base.link)
+        )
+
+    def config_locality_policy(
+        self,
+        placement: str = "first_touch",
+        cta: str = "contiguous",
+        kind: str | None = None,
+        n_sockets: int | None = None,
+        combined: bool = False,
+        **placement_params,
+    ) -> SystemConfig:
+        """Locality runtime with explicit placement + CTA policy specs.
+
+        ``placement`` / ``cta`` are :mod:`repro.locality` registry kinds;
+        ``kind`` optionally puts the system on a named multi-hop
+        topology (as :meth:`config_topology`); ``placement_params``
+        forwards tuning knobs (``touch_window``,
+        ``migration_threshold``, ``max_migrations_per_page``) to the
+        :class:`~repro.locality.spec.PlacementSpec`. The distance-blind
+        baseline of a locality experiment is the same fabric with *no*
+        specs (plain :meth:`config_topology` / :meth:`base_config`), so
+        baseline runs share the result cache with the topology sweep.
+        """
+        if kind is not None:
+            base = self.config_topology(kind, n_sockets, combined=combined)
+        elif combined:
+            base = self.config_combined(n_sockets)
+        else:
+            base = self.base_config(n_sockets)
+        return replace(
+            base,
+            placement_spec=PlacementSpec(kind=placement, **placement_params),
+            cta_spec=CtaSpec(kind=cta),
         )
 
     def config_no_invalidations(self) -> SystemConfig:

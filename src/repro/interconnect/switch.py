@@ -13,6 +13,7 @@ from repro.config import LinkConfig
 from repro.errors import InterconnectError
 from repro.interconnect.link import Direction, DuplexLink
 from repro.interconnect.packets import PacketKind, packet_bytes
+from repro.locality.distance import DistanceModel
 from repro.sim.engine import Engine
 from repro.sim.stats import StatGroup, flatten_slots
 
@@ -156,3 +157,15 @@ class Switch:
     def hop_histogram(self) -> dict[int, int]:
         """Packets by hop count; empty for the crossbar (see edge_stats)."""
         return {}
+
+    def distance_model(self) -> DistanceModel:
+        """The identity model: a non-blocking switch is distance-free.
+
+        Every distinct socket pair is one uniform hop at the per-link
+        direction bandwidth, which makes the distance-aware locality
+        policies degrade exactly to their distance-blind ancestors on
+        the paper's default fabric.
+        """
+        return DistanceModel.identity(
+            len(self.links), self.links[0].bandwidth(Direction.EGRESS)
+        )

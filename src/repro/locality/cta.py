@@ -1,0 +1,241 @@
+"""CTA-assignment policy registry (Section 3's scheduling axis).
+
+Each policy partitions a kernel's CTA indices into per-socket blocks
+behind a uniform protocol, replacing the hardcoded branch in
+``runtime/scheduler.assign_ctas`` (now a compatibility wrapper over this
+registry). The two original policies are ported unchanged:
+
+* ``contiguous`` — balanced contiguous blocks, one per socket (the
+  locality-optimized runtime: neighbouring CTAs share a socket, so
+  first-touch placement captures their shared pages);
+* ``round_robin`` (canonical name of the historical ``interleaved``
+  enum value) — modulo assignment, the fine-grained single-GPU policy.
+
+New:
+
+* ``distance_affine`` — affinity-aware assignment: each CTA is placed
+  on the socket minimizing the hop-weighted cost of reaching the pages
+  it touches, subject to the same one-CTA balance bound the static
+  policies keep. Page touch profiles come from the materialized CTA
+  slice streams (the same plan-capture traces the harness pre-builds
+  before every run, so profiling a CTA is a dictionary walk, not a
+  re-generation), homes from the live first-touch table, and distances
+  from the fabric's :class:`~repro.locality.distance.DistanceModel`.
+  Kernels launched before any page is homed (the first kernel of a
+  first-touch run) fall back to ``contiguous``, which is exactly the
+  assignment that seeds first-touch locality. On the crossbar's
+  identity model every remote socket costs the same, so the policy
+  keeps each CTA wherever most of its claimed pages already live.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError, RuntimeLaunchError
+from repro.locality.distance import DistanceModel
+from repro.locality.spec import CtaSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.config import SystemConfig
+    from repro.memory.page_table import PageTable
+    from repro.runtime.kernel import KernelWork
+
+
+def _validate(n_ctas: int, n_sockets: int) -> None:
+    if n_ctas < 1:
+        raise RuntimeLaunchError("cannot assign zero CTAs")
+    if n_sockets < 1:
+        raise RuntimeLaunchError("need at least one socket")
+
+
+def _socket_id(socket) -> int:
+    """Socket id of one ``sockets`` entry (GpuSocket or plain int)."""
+    return getattr(socket, "socket_id", socket)
+
+
+class CtaAssignmentPolicy:
+    """Base protocol: split CTA indices into per-socket blocks.
+
+    ``sockets`` is the launcher's socket list (:class:`GpuSocket`
+    objects, or plain ints in unit tests); ``kernel`` is the launching
+    :class:`~repro.runtime.kernel.KernelWork`, which only the
+    affinity-aware policies consult. All policies keep per-socket CTA
+    counts within one of each other, so performance differences between
+    them are purely locality.
+    """
+
+    kind = ""
+
+    def assign(self, n_ctas: int, sockets, kernel=None) -> list[list[int]]:
+        """Blocks of CTA indices, one list per entry of ``sockets``."""
+        raise NotImplementedError
+
+
+class ContiguousCta(CtaAssignmentPolicy):
+    """Balanced contiguous blocks; earlier sockets take the remainder."""
+
+    kind = "contiguous"
+
+    def assign(self, n_ctas: int, sockets, kernel=None) -> list[list[int]]:
+        n_sockets = len(sockets)
+        _validate(n_ctas, n_sockets)
+        if n_sockets == 1:
+            return [list(range(n_ctas))]
+        base, extra = divmod(n_ctas, n_sockets)
+        blocks: list[list[int]] = []
+        start = 0
+        for s in range(n_sockets):
+            size = base + (1 if s < extra else 0)
+            blocks.append(list(range(start, start + size)))
+            start += size
+        return blocks
+
+
+class RoundRobinCta(CtaAssignmentPolicy):
+    """Modulo assignment (CTA i to socket i % N)."""
+
+    kind = "round_robin"
+
+    def assign(self, n_ctas: int, sockets, kernel=None) -> list[list[int]]:
+        n_sockets = len(sockets)
+        _validate(n_ctas, n_sockets)
+        if n_sockets == 1:
+            return [list(range(n_ctas))]
+        return [list(range(s, n_ctas, n_sockets)) for s in range(n_sockets)]
+
+
+class DistanceAffineCta(CtaAssignmentPolicy):
+    """Co-locate CTA blocks with the pages they touch."""
+
+    kind = "distance_affine"
+
+    def __init__(
+        self,
+        page_table: "PageTable | None" = None,
+        distance: DistanceModel | None = None,
+    ) -> None:
+        self._page_table = page_table
+        self._distance = distance
+        self._fallback = ContiguousCta()
+
+    def attach(self, page_table: "PageTable",
+               distance: DistanceModel) -> None:
+        """Wire the live page-home table and fabric distance model."""
+        self._page_table = page_table
+        self._distance = distance
+
+    def assign(self, n_ctas: int, sockets, kernel=None) -> list[list[int]]:
+        n_sockets = len(sockets)
+        _validate(n_ctas, n_sockets)
+        if n_sockets == 1:
+            return [list(range(n_ctas))]
+        page_table = self._page_table
+        if (
+            kernel is None
+            or page_table is None
+            or self._distance is None
+            or not page_table.placement.claims_pages
+            or not page_table.placement._page_home
+        ):
+            # No affinity signal yet (first kernel of a first-touch run,
+            # or an arithmetic placement): contiguous seeds locality.
+            return self._fallback.assign(n_ctas, sockets, kernel)
+        homes = page_table.placement._page_home
+        get_home = homes.get
+        page_size = page_table.placement.page_size
+        hops = self._distance.hops
+        base, extra = divmod(n_ctas, n_sockets)
+        caps = [base + (1 if s < extra else 0) for s in range(n_sockets)]
+        socket_ids = [_socket_id(s) for s in sockets]
+        blocks: list[list[int]] = [[] for _ in range(n_sockets)]
+        build = kernel.build_cta
+        for cta in range(n_ctas):
+            # Touch profile: claimed-page touch counts by home socket.
+            counts: dict[int, int] = {}
+            for piece in build(cta):
+                for op in piece.ops:
+                    home = get_home(op.addr // page_size)
+                    if home is not None:
+                        counts[home] = counts.get(home, 0) + 1
+            items = counts.items()
+            best = -1
+            best_cost = None
+            for s in range(n_sockets):
+                if len(blocks[s]) >= caps[s]:
+                    continue
+                row = hops[socket_ids[s]]
+                cost = sum(c * row[h] for h, c in items)
+                # Strict < keeps the smallest-index socket on ties.
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best = s
+            blocks[best].append(cta)
+        return blocks
+
+
+#: kind -> policy; ``interleaved`` is the historical enum value of the
+#: round-robin policy (both names resolve to the same class).
+CTA_POLICIES: dict[str, type[CtaAssignmentPolicy]] = {
+    "contiguous": ContiguousCta,
+    "round_robin": RoundRobinCta,
+    "interleaved": RoundRobinCta,
+    "distance_affine": DistanceAffineCta,
+}
+
+
+def build_cta_policy(
+    config: "SystemConfig",
+    page_table: "PageTable | None" = None,
+    distance: DistanceModel | None = None,
+) -> CtaAssignmentPolicy:
+    """Instantiate the CTA policy a config selects (spec overrides enum)."""
+    spec = config.cta_spec
+    kind = spec.kind if spec is not None else config.cta_policy.value
+    cls = CTA_POLICIES.get(kind)
+    if cls is None:
+        raise ConfigError(
+            f"unknown CTA policy kind {kind!r}; known: {sorted(CTA_POLICIES)}"
+        )
+    if cls is DistanceAffineCta:
+        return DistanceAffineCta(page_table, distance)
+    return cls()
+
+
+def resolve_cta_policy(policy) -> CtaAssignmentPolicy:
+    """Normalize an enum / kind string / policy object to a policy object.
+
+    The compatibility entry the launcher and ``assign_ctas`` wrapper use
+    so historical call sites passing :class:`repro.config.CtaPolicy`
+    enums keep working unchanged.
+    """
+    if isinstance(policy, CtaAssignmentPolicy):
+        return policy
+    kind = getattr(policy, "value", policy)
+    cls = CTA_POLICIES.get(kind)
+    if cls is None:
+        raise ConfigError(
+            f"unknown CTA policy {policy!r}; known: {sorted(CTA_POLICIES)}"
+        )
+    if cls is DistanceAffineCta:
+        # An unwired affine policy would silently degrade to contiguous
+        # through its no-signal fallback — refuse rather than let a
+        # caller believe they measured affinity-aware scheduling.
+        raise ConfigError(
+            "distance_affine needs page-table and distance-model wiring; "
+            "build it via repro.locality.cta.build_cta_policy (the system "
+            "builder does this automatically for cta_spec configs)"
+        )
+    return cls()
+
+
+__all__ = [
+    "CTA_POLICIES",
+    "ContiguousCta",
+    "CtaAssignmentPolicy",
+    "CtaSpec",
+    "DistanceAffineCta",
+    "RoundRobinCta",
+    "build_cta_policy",
+    "resolve_cta_policy",
+]

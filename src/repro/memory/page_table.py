@@ -12,19 +12,25 @@ Every socket keeps a private ``line -> home_socket`` dict (see
 access skips :meth:`translate` entirely — after the first touch of a page
 its home never moves on its own, and interleaved policies are pure
 functions of the address. Those dicts are registered here so that any
-operation that *does* re-home a page (today: a UVM prefetch pinning pages
-before a run; tomorrow: active migration policies) can call
+operation that *does* re-home a page (UVM prefetch pinning pages before a
+run; the dynamic locality policies migrating pages mid-run) can call
 :meth:`invalidate_page` and atomically drop every stale cached line of
 that page across all sockets.
+
+Dynamic policies (``placement.dynamic``) additionally disable cache
+*filling* entirely (:attr:`cacheable`): their re-home decisions are
+driven by per-page touch counters, and a warm line cache would hide
+exactly the accesses those counters need. Their demand accesses route
+through the policy's counted ``touch`` entry; eviction/writeback routing
+uses the uncounted :meth:`peek_home` so background traffic never skews
+the counters.
 """
 
 from __future__ import annotations
 
-from repro.config import PlacementPolicy, SystemConfig
+from repro.config import SystemConfig
 from repro.memory.placement import Placement
 from repro.sim.stats import StatGroup, flatten_slots
-
-_FIRST_TOUCH = PlacementPolicy.FIRST_TOUCH
 
 
 class PageTable:
@@ -33,6 +39,10 @@ class PageTable:
     __slots__ = (
         "placement",
         "migration_latency",
+        "cacheable",
+        "_policy",
+        "_dynamic",
+        "_fused_first_touch",
         "_stats",
         "_line_caches",
         "_lines_per_page",
@@ -51,6 +61,15 @@ class PageTable:
     def __init__(self, config: SystemConfig) -> None:
         self.placement = Placement(config)
         self.migration_latency = config.migration_latency
+        self._policy = self.placement.policy_obj
+        #: whether sockets may fill their line->home caches.
+        self.cacheable = self.placement.cacheable
+        self._dynamic = self.placement.dynamic
+        # The fused fast path below applies to the plain first-touch
+        # policy on a real NUMA system (see translate()).
+        self._fused_first_touch = (
+            self.placement.kind == "first_touch" and config.n_sockets > 1
+        )
         self._stats = StatGroup("page_table")
         self.n_faults = 0
         self.n_translations = 0
@@ -64,25 +83,37 @@ class PageTable:
         """Counter view; slotted ints are flattened on every read."""
         return flatten_slots(self, self._STAT_FIELDS, self._stats)
 
+    def attach_fabric(self, fabric, engine, distance) -> None:
+        """Wire the fabric, engine, and distance model into the policy.
+
+        Called once by the system builder after the fabric exists; the
+        dynamic policies use it to charge page copies on the fabric and
+        to weight re-home decisions by hop distance. A no-op for the
+        static policies.
+        """
+        self._policy.attach(fabric, engine, distance, self)
+
     def translate(self, addr: int, accessor: int) -> tuple[int, int]:
         """Return ``(home_socket, extra_latency)`` for one access.
 
-        ``extra_latency`` is nonzero only on the first touch of a page
-        under the FIRST_TOUCH policy, representing the on-demand page copy
-        from system memory.
+        ``extra_latency`` is nonzero on the first touch of a page under
+        a claiming policy (the on-demand page copy from system memory)
+        and on a dynamic re-home (the triggering access stalls while the
+        page moves).
 
-        (Hot path: runs on every translation-cache miss, so the
-        first-touch probe and the home lookup are fused into a single
-        page computation and dict probe instead of chaining
-        ``Placement.is_first_touch`` + ``Placement.home_socket`` — the
-        counters and claim side effects are identical.)
+        (Hot path: runs on every translation-cache miss — and on *every*
+        access under a dynamic policy — so the first-touch probe and the
+        home lookup are fused into a single page computation and dict
+        probe instead of chaining ``Placement.is_first_touch`` +
+        ``Placement.home_socket`` — the counters and claim side effects
+        are identical.)
         """
         placement = self.placement
-        if placement.policy is _FIRST_TOUCH and placement.n_sockets > 1:
+        if self._fused_first_touch:
             # On one socket, home_socket() returns 0 *without* claiming
             # the page, so every access stays a billed first touch — the
             # fused path must not claim either; it applies only to real
-            # NUMA systems.
+            # NUMA systems (the n_sockets > 1 gate in __init__).
             if accessor < 0 or accessor >= placement.n_sockets:
                 placement.home_socket(addr, accessor)  # canonical range error
             page = addr // placement.page_size
@@ -94,6 +125,14 @@ class PageTable:
                 placement.stats.add("migrations")
                 return accessor, self.migration_latency
             return home, 0
+        if self._dynamic and placement.n_sockets > 1:
+            if accessor < 0 or accessor >= placement.n_sockets:
+                placement.home_socket(addr, accessor)  # canonical range error
+            home, extra = self._policy.touch(addr, accessor)
+            self.n_translations += 1
+            if extra:
+                self.n_faults += 1
+            return home, extra
         extra = 0
         if placement.is_first_touch(addr):
             extra = self.migration_latency
@@ -101,6 +140,25 @@ class PageTable:
         home = placement.home_socket(addr, accessor)
         self.n_translations += 1
         return home, extra
+
+    def peek_home(self, addr: int, accessor: int) -> int:
+        """Uncounted home of ``addr`` (eviction/writeback routing).
+
+        Unlike :meth:`translate` this never claims a page, never charges
+        latency, and — crucially for the dynamic policies — never feeds
+        the touch counters: write-back background traffic must not skew
+        re-home decisions.
+        """
+        placement = self.placement
+        if placement.n_sockets == 1:
+            return 0
+        if self._dynamic:
+            return self._policy.peek(addr, accessor)
+        if placement.claims_pages:
+            return placement._page_home.get(
+                addr // placement.page_size, accessor
+            )
+        return placement.home_socket(addr, accessor)
 
     # ------------------------------------------------------------------
     # translation-cache registry
@@ -134,3 +192,8 @@ class PageTable:
     def migrations(self) -> int:
         """Pages migrated on first touch so far."""
         return self.placement.migrations
+
+    @property
+    def re_homed_pages(self) -> int:
+        """Dynamic re-homes performed so far (zero for static policies)."""
+        return self.placement.re_homes

@@ -1,80 +1,105 @@
-"""Page-placement policies (Section 3).
+"""Page placement: the facade over the locality policy registry.
 
-Three policies from the paper plus a single-socket degenerate case:
-
-* ``FINE_INTERLEAVE`` — sub-page interleaving across sockets; the
-  traditional UMA layout that destroys locality (75% remote in a 4-GPU
-  system).
-* ``PAGE_INTERLEAVE`` — Linux-style round-robin page placement; load
-  balanced but still 75% remote.
-* ``FIRST_TOUCH`` — UVM on-demand migration: a page is homed at the socket
-  that touches it first (Arunkumar et al.), the locality-optimized choice.
-* ``LOCAL_ONLY`` — everything lives on socket 0 (single-GPU runs).
+Historically this module *was* the policy — an if/elif chain over the
+four :class:`repro.config.PlacementPolicy` enum values. The policies now
+live in :mod:`repro.locality.placement` (the four originals ported
+unchanged, plus the distance-aware ``distance_weighted_first_touch`` and
+``access_counter_migration``); :class:`Placement` is the thin facade the
+memory system holds, preserving the historical API (``home_socket`` /
+``is_first_touch`` / ``pages_on`` / ``migrations``) while delegating the
+actual decision to one policy object.
 
 Placement answers a single question — *which socket is the home of this
 address?* — and records enough statistics for the experiments (migration
-counts, local/remote split).
+counts, dynamic re-homes, local/remote split).
 """
 
 from __future__ import annotations
 
 from repro.config import PlacementPolicy, SystemConfig
 from repro.errors import PlacementError
+from repro.locality.placement import build_page_policy
 from repro.sim.stats import StatGroup
+
+#: enum lookup for the facade's legacy ``policy`` attribute.
+_ENUM_BY_KIND = {policy.value: policy for policy in PlacementPolicy}
 
 
 class Placement:
     """Maps byte addresses to home sockets under a given policy.
 
     First-touch state is per-run: :meth:`home_socket` takes the accessing
-    socket so the first access can claim the page.
+    socket so the first access can claim the page. ``policy`` keeps the
+    historical enum view (``None`` for the new registry-only kinds);
+    ``kind`` and ``policy_obj`` are the full registry surface.
     """
 
     def __init__(self, config: SystemConfig) -> None:
-        self.policy = config.placement
         self.n_sockets = config.n_sockets
         self.page_size = config.page_size
         self.granularity = config.interleave_granularity
         self.stats = StatGroup("placement")
-        self._page_home: dict[int, int] = {}
+        self.policy_obj = build_page_policy(config, self.stats)
+        self.kind = self.policy_obj.kind
+        #: legacy enum view of the active policy (None for new kinds).
+        self.policy = _ENUM_BY_KIND.get(self.kind)
+        #: the policy's page -> home table (shared object; the page
+        #: table's fused first-touch path and UVM prefetch write it
+        #: directly, exactly as they always did).
+        self._page_home = self.policy_obj.page_home
 
+    # ------------------------------------------------------------------
+    # policy contract flags (read by sockets / page table / UVM)
+    # ------------------------------------------------------------------
+    @property
+    def cacheable(self) -> bool:
+        """Whether line->home translation caches may be filled."""
+        return self.policy_obj.cacheable
+
+    @property
+    def claims_pages(self) -> bool:
+        """Whether the policy maintains a page->home table."""
+        return self.policy_obj.claims_pages
+
+    @property
+    def dynamic(self) -> bool:
+        """Whether homes may move after the first touch."""
+        return self.policy_obj.dynamic
+
+    # ------------------------------------------------------------------
+    # the placement question
+    # ------------------------------------------------------------------
     def home_socket(self, addr: int, accessor: int) -> int:
         """Home socket of ``addr`` for an access issued by ``accessor``.
 
-        For ``FIRST_TOUCH`` the first call for a page claims it for the
-        accessor and counts a migration (the page moves from system memory
-        into that GPU's local DRAM).
+        For the first-touch family the first call for a page claims it
+        for the accessor and counts a migration (the page moves from
+        system memory into that GPU's local DRAM). A one-socket system
+        homes everything at socket 0 without claiming — the historical
+        degenerate case every policy shares.
         """
         if accessor < 0 or accessor >= self.n_sockets:
             raise PlacementError(
                 f"accessor socket {accessor} out of range 0..{self.n_sockets - 1}"
             )
-        if self.n_sockets == 1 or self.policy is PlacementPolicy.LOCAL_ONLY:
+        if self.n_sockets == 1:
             return 0
-        if self.policy is PlacementPolicy.FINE_INTERLEAVE:
-            return (addr // self.granularity) % self.n_sockets
-        if self.policy is PlacementPolicy.PAGE_INTERLEAVE:
-            return (addr // self.page_size) % self.n_sockets
-        # FIRST_TOUCH
-        page = addr // self.page_size
-        home = self._page_home.get(page)
-        if home is None:
-            home = accessor
-            self._page_home[page] = home
-            self.stats.add("migrations")
-        return home
+        return self.policy_obj.home_socket(addr, accessor)
 
     def is_first_touch(self, addr: int) -> bool:
-        """True when a FIRST_TOUCH page has not been claimed yet."""
-        if self.policy is not PlacementPolicy.FIRST_TOUCH:
-            return False
-        return (addr // self.page_size) not in self._page_home
+        """True when a claiming policy has not claimed this page yet."""
+        return self.policy_obj.is_first_touch(addr)
 
     def pages_on(self, socket: int) -> int:
-        """Number of first-touch pages currently homed at ``socket``."""
+        """Number of claimed pages currently homed at ``socket``."""
         return sum(1 for home in self._page_home.values() if home == socket)
 
     @property
     def migrations(self) -> int:
         """Total first-touch page migrations performed."""
         return self.stats["migrations"]
+
+    @property
+    def re_homes(self) -> int:
+        """Dynamic re-homes performed (zero for static policies)."""
+        return self.stats["re_homes"]

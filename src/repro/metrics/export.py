@@ -28,6 +28,8 @@ RUN_COLUMNS = (
     "switch_bytes",
     "lane_turns",
     "migrations",
+    "re_homed_pages",
+    "mean_hops",
     "kernels",
 )
 
@@ -52,6 +54,8 @@ def run_to_dict(result: RunResult) -> dict:
         "switch_bytes": result.switch_bytes,
         "lane_turns": result.total_lane_turns,
         "migrations": result.migrations,
+        "re_homed_pages": result.re_homed_pages,
+        "mean_hops": round(result.mean_hops, 6),
         "kernels": result.kernels,
     }
 
@@ -114,6 +118,10 @@ def result_to_json_dict(result: RunResult) -> dict:
         payload["hop_histogram"] = {
             str(hops): count for hops, count in result.hop_histogram.items()
         }
+    if result.re_homed_pages:
+        # Only dynamic placement policies produce re-homes; omitting the
+        # zero default keeps the pre-locality goldens byte-identical.
+        payload["re_homed_pages"] = result.re_homed_pages
     return payload
 
 
@@ -150,6 +158,7 @@ def result_from_json_dict(data: dict) -> RunResult:
             int(hops): int(count)
             for hops, count in data.get("hop_histogram", {}).items()
         },
+        re_homed_pages=int(data.get("re_homed_pages", 0)),
     )
 
 
@@ -165,5 +174,9 @@ def read_csv(path: str | Path) -> list[dict]:
                 typed[key] = int(row[key])
             for key in ("remote_fraction", "l1_hit_rate", "l2_hit_rate"):
                 typed[key] = float(row[key])
+            # Columns added by the locality layer: default when reading
+            # CSVs written before they existed.
+            typed["re_homed_pages"] = int(row.get("re_homed_pages") or 0)
+            typed["mean_hops"] = float(row.get("mean_hops") or 0.0)
             out.append(typed)
     return out

@@ -103,6 +103,9 @@ class RunResult:
     edges: list[EdgeStats] = field(default_factory=list)
     #: packets by route hop count; empty on the default crossbar.
     hop_histogram: dict[int, int] = field(default_factory=dict)
+    #: pages re-homed mid-run by a dynamic placement policy (0 for the
+    #: static policies; first-touch claims count as ``migrations``).
+    re_homed_pages: int = 0
 
     def speedup_over(self, baseline: "RunResult") -> float:
         """How much faster this run is than ``baseline`` (>1 = faster)."""
@@ -210,13 +213,17 @@ def collect_results(system: "NumaGpuSystem", workload_name: str) -> RunResult:
         kernel_launch_times=list(launcher.kernel_launch_times) if launcher else [],
         edges=fabric.edge_stats() if fabric else [],
         hop_histogram=fabric.hop_histogram() if fabric else {},
+        re_homed_pages=system.page_table.re_homed_pages,
     )
 
 
 def _config_label(system: "NumaGpuSystem") -> str:
     cfg = system.config
+    # The effective policy kinds: identical to the historical enum
+    # values unless a locality spec overrides them (goldens pin the
+    # default labels).
     label = (
-        f"{cfg.n_sockets}s/{cfg.cta_policy.value}/{cfg.placement.value}/"
+        f"{cfg.n_sockets}s/{cfg.cta_kind}/{cfg.placement_kind}/"
         f"{cfg.cache_arch.value}/{cfg.link_policy.value}"
     )
     # The crossbar is the paper default: an explicit crossbar spec is

@@ -24,8 +24,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.gpu.socket import GpuSocket
+from repro.locality.cta import resolve_cta_policy
 from repro.runtime.kernel import KernelWork
-from repro.runtime.scheduler import assign_ctas
 from repro.sim.engine import Engine
 from repro.sim.stats import StatGroup
 
@@ -46,7 +46,10 @@ class Launcher:
         self.engine = engine
         self.sockets = sockets
         self.kernels = kernels
-        self.cta_policy = cta_policy
+        #: a :class:`repro.locality.cta.CtaAssignmentPolicy`; historical
+        #: :class:`repro.config.CtaPolicy` enums (and kind names) are
+        #: normalized through the registry for compatibility.
+        self.cta_policy = resolve_cta_policy(cta_policy)
         self.launch_latency = launch_latency
         self.on_kernel_launch = on_kernel_launch
         self.on_workload_done = on_workload_done
@@ -82,7 +85,7 @@ class Launcher:
             socket.flush_caches()
         if self.on_kernel_launch is not None:
             self.on_kernel_launch(self._kernel_idx)
-        blocks = assign_ctas(kernel.n_ctas, len(self.sockets), self.cta_policy)
+        blocks = self.cta_policy.assign(kernel.n_ctas, self.sockets, kernel)
         self._sockets_pending = 0
         populated = [
             (socket, block)

@@ -191,7 +191,10 @@ def run_partitioned(
             engine=system.engine,
             sockets=sockets,
             kernels=kernels,
-            cta_policy=config.cta_policy,
+            # The system's wired policy object: distance-affine tenants
+            # see the global fabric distances through their own socket
+            # subset (assignment is per launcher-socket-list).
+            cta_policy=system.cta_policy,
             launch_latency=config.kernel_launch_latency,
             on_workload_done=make_done(partition, workload.name, index),
         )

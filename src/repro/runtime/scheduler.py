@@ -1,42 +1,24 @@
-"""CTA-to-socket assignment policies (Section 3).
+"""CTA-to-socket assignment: compatibility wrapper over the registry.
 
-Two strategies from the paper:
-
-* ``INTERLEAVED`` — modulo assignment (CTA i goes to socket i % N), the
-  fine-grained policy a single GPU would use; it load balances but
-  scatters neighbouring CTAs (and their shared data) across sockets.
-* ``CONTIGUOUS`` — the kernel's CTA range is cut into N equal contiguous
-  blocks, one per socket. Neighbouring CTAs — which, in most GPU
-  programs, touch neighbouring memory — stay on the same socket, which is
-  what lets first-touch placement capture locality.
+The assignment policies themselves live in :mod:`repro.locality.cta`
+(the Section 3 ``contiguous`` and ``round_robin``/``interleaved``
+policies ported unchanged, plus the affinity-aware ``distance_affine``).
+:func:`assign_ctas` keeps the historical enum-driven function signature
+for callers and tests that partition a bare CTA count.
 """
 
 from __future__ import annotations
 
 from repro.config import CtaPolicy
-from repro.errors import RuntimeLaunchError
+from repro.locality.cta import resolve_cta_policy
 
 
 def assign_ctas(n_ctas: int, n_sockets: int, policy: CtaPolicy) -> list[list[int]]:
     """Partition CTA indices ``0..n_ctas-1`` into per-socket lists.
 
-    Both policies keep per-socket CTA counts within one of each other, so
-    any performance difference between them is purely locality.
+    ``policy`` may be a :class:`repro.config.CtaPolicy` enum, a registry
+    kind name, or a policy object from :mod:`repro.locality.cta`. All
+    policies keep per-socket CTA counts within one of each other, so any
+    performance difference between them is purely locality.
     """
-    if n_ctas < 1:
-        raise RuntimeLaunchError("cannot assign zero CTAs")
-    if n_sockets < 1:
-        raise RuntimeLaunchError("need at least one socket")
-    if n_sockets == 1:
-        return [list(range(n_ctas))]
-    if policy is CtaPolicy.INTERLEAVED:
-        return [list(range(s, n_ctas, n_sockets)) for s in range(n_sockets)]
-    # CONTIGUOUS: balanced blocks, earlier sockets take the remainder.
-    base, extra = divmod(n_ctas, n_sockets)
-    blocks: list[list[int]] = []
-    start = 0
-    for s in range(n_sockets):
-        size = base + (1 if s < extra else 0)
-        blocks.append(list(range(start, start + size)))
-        start += size
-    return blocks
+    return resolve_cta_policy(policy).assign(n_ctas, range(n_sockets))

@@ -14,7 +14,6 @@ with the two operations the runtime layer needs:
 
 from __future__ import annotations
 
-from repro.config import PlacementPolicy
 from repro.errors import PlacementError
 from repro.memory.page_table import PageTable
 from repro.sim.stats import StatGroup
@@ -30,13 +29,16 @@ class UvmManager:
     def prefetch(self, start: int, nbytes: int, socket: int) -> int:
         """Pin every page overlapping ``[start, start+nbytes)`` to ``socket``.
 
-        Only meaningful under FIRST_TOUCH placement (other policies compute
-        homes arithmetically); pages already claimed stay where they are,
+        Only meaningful under a claiming placement (the first-touch
+        family, including the dynamic locality policies — interleaved
+        policies compute homes arithmetically); pages already claimed
+        stay where they are,
         mirroring CUDA's behaviour of not re-migrating resident pages here.
         Returns the number of pages newly pinned.
         """
         placement = self.page_table.placement
-        if placement.policy is not PlacementPolicy.FIRST_TOUCH:
+        if not placement.claims_pages:
+            # Arithmetic policies compute homes; there is nothing to pin.
             return 0
         if socket < 0 or socket >= placement.n_sockets:
             raise PlacementError(f"prefetch target socket {socket} out of range")

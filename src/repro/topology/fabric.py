@@ -39,6 +39,7 @@ from repro.errors import ConfigError, InterconnectError
 from repro.interconnect.link import Direction, DuplexLink
 from repro.interconnect.packets import PacketKind, packet_bytes
 from repro.interconnect.switch import Switch
+from repro.locality.distance import DistanceModel
 from repro.metrics.report import EdgeStats
 from repro.sim.engine import Engine
 from repro.sim.stats import StatGroup, flatten_slots
@@ -176,6 +177,7 @@ class MultiHopFabric:
         "routes",
         "edges",
         "owners",
+        "_edge_links",
         "_programs",
         "_route_hops",
         "_hop_hist",
@@ -204,6 +206,7 @@ class MultiHopFabric:
         self.routes = compute_routes(spec)
         if edge_links is None:
             edge_links = tuple(edge.link for edge in spec.edges)
+        self._edge_links = edge_links
         index = {node: i for i, node in enumerate(spec.nodes)}
         self.edges = [
             EdgeLink(
@@ -354,6 +357,15 @@ class MultiHopFabric:
             for hops, count in enumerate(self._hop_hist)
             if count
         }
+
+    def distance_model(self) -> DistanceModel:
+        """Hop counts and bottleneck bandwidth of the routed topology.
+
+        Derived from the same deterministic routing tables the hop
+        programs were compiled from, over the *effective* per-edge links
+        (so ``DOUBLED`` provisioning is visible to the locality layer).
+        """
+        return DistanceModel.from_spec(self.spec, self._edge_links)
 
 
 def build_fabric(config: SystemConfig, engine: Engine):

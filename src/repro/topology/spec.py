@@ -217,23 +217,68 @@ def mesh_dims(n_sockets: int) -> tuple[int, int]:
 
 
 def mesh2d(
-    rows: int, cols: int, link: LinkConfig | None = None
+    rows: int,
+    cols: int,
+    link: LinkConfig | None = None,
+    edge_taper: float = 1.0,
 ) -> TopologySpec:
-    """A 2-D mesh: socket ``r * cols + c`` links right and down."""
+    """A 2-D mesh: socket ``r * cols + c`` links right and down.
+
+    ``edge_taper`` scales the lane count of *perimeter* edges (edges
+    running along the mesh boundary, where bisection traffic never
+    concentrates) — the classic tapered-mesh provisioning that spends
+    lanes where the canonical cut needs them. ``1.0`` (default) keeps
+    the historical uniform mesh; tapered lanes are floored at the
+    link's ``min_lanes`` so the Section 4 balancer invariant holds on
+    every edge. The spec layer has always supported heterogeneous
+    per-edge links; this makes the standard builder emit them.
+    """
     if rows < 1 or cols < 1 or rows * cols < 2:
         raise ConfigError(f"mesh2d needs >= 2 sockets, got {rows}x{cols}")
+    if edge_taper <= 0:
+        raise ConfigError(f"edge_taper must be positive, got {edge_taper}")
     sockets = _socket_names(rows * cols)
     link = link if link is not None else LinkConfig()
+    if edge_taper == 1.0:
+        tapered = link
+    else:
+        tapered = replace(
+            link,
+            lanes_per_direction=max(
+                link.min_lanes,
+                1,
+                round(link.lanes_per_direction * edge_taper),
+            ),
+        )
+
+    def on_boundary_row(r: int) -> bool:
+        return r == 0 or r == rows - 1
+
+    def on_boundary_col(c: int) -> bool:
+        return c == 0 or c == cols - 1
+
     edges = []
     for r in range(rows):
         for c in range(cols):
             here = sockets[r * cols + c]
             if c + 1 < cols:
-                edges.append(EdgeSpec(here, sockets[r * cols + c + 1], link))
+                # Horizontal edge: perimeter when it runs along the top
+                # or bottom row.
+                horizontal = tapered if on_boundary_row(r) else link
+                edges.append(
+                    EdgeSpec(here, sockets[r * cols + c + 1], horizontal)
+                )
             if r + 1 < rows:
-                edges.append(EdgeSpec(here, sockets[(r + 1) * cols + c], link))
+                # Vertical edge: perimeter when it runs along the left
+                # or right column.
+                vertical = tapered if on_boundary_col(c) else link
+                edges.append(
+                    EdgeSpec(here, sockets[(r + 1) * cols + c], vertical)
+                )
     return TopologySpec(
-        name=f"mesh{rows}x{cols}",
+        name=f"mesh{rows}x{cols}" + (
+            f"-t{edge_taper:g}" if edge_taper != 1.0 else ""
+        ),
         kind="mesh2d",
         sockets=sockets,
         edges=tuple(edges),
@@ -302,9 +347,13 @@ def switch_tree(
     )
 
 
-def _mesh_for(n_sockets: int, link: LinkConfig | None = None) -> TopologySpec:
+def _mesh_for(
+    n_sockets: int,
+    link: LinkConfig | None = None,
+    edge_taper: float = 1.0,
+) -> TopologySpec:
     rows, cols = mesh_dims(n_sockets)
-    return mesh2d(rows, cols, link)
+    return mesh2d(rows, cols, link, edge_taper=edge_taper)
 
 
 #: kind -> builder taking ``(n_sockets, link)``; the registry behind
@@ -319,12 +368,18 @@ BUILDERS: dict[str, object] = {
 
 
 def build_topology(
-    kind: str, n_sockets: int, link: LinkConfig | None = None
+    kind: str, n_sockets: int, link: LinkConfig | None = None, **kwargs
 ) -> TopologySpec:
-    """Build a standard topology by kind name (see :data:`BUILDERS`)."""
+    """Build a standard topology by kind name (see :data:`BUILDERS`).
+
+    Builder-specific heterogeneity options pass through ``kwargs``:
+    ``mesh2d`` takes ``edge_taper`` (perimeter-lane scaling),
+    ``switch_tree`` takes ``trunk`` (inter-package LinkConfig override)
+    and ``n_packages``.
+    """
     builder = BUILDERS.get(kind)
     if builder is None:
         raise ConfigError(
             f"unknown topology kind {kind!r}; known: {sorted(BUILDERS)}"
         )
-    return builder(n_sockets, link=link)  # type: ignore[operator]
+    return builder(n_sockets, link=link, **kwargs)  # type: ignore[operator]

@@ -58,7 +58,8 @@ def test_trace_command(tmp_path, capsys):
 def test_every_experiment_is_registered():
     for figure in ("table1", "table2", "figure2", "figure3", "figure5",
                    "figure6", "figure8", "figure9", "figure10", "figure11",
-                   "switch_time", "writeback", "power", "topology"):
+                   "switch_time", "writeback", "power", "topology",
+                   "locality"):
         assert figure in EXPERIMENTS
 
 
@@ -99,3 +100,53 @@ def test_unknown_workload_is_an_error():
 def test_parser_rejects_bad_experiment():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["experiment", "figure99"])
+
+
+def test_run_rejects_topology_on_one_socket(capsys):
+    # The construction-asymmetry remnant: a 1-socket system never builds
+    # a fabric, so a multi-node spec must be rejected cleanly up front.
+    code = main([
+        "run", "Lonestar-SP", "--sockets", "1", "--topology", "ring",
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "at least 2 sockets" in err
+
+
+def test_run_command_with_locality_policies(capsys):
+    code = main([
+        "run", "Lonestar-SP", "--sockets", "4", "--scale", "tiny",
+        "--topology", "ring",
+        "--placement", "distance_weighted_first_touch",
+        "--cta-policy", "distance_affine",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "distance_weighted_first_touch" in out
+    assert "re_homed_pages" in out
+
+
+def test_run_command_round_robin_alias(capsys):
+    code = main([
+        "run", "Lonestar-SP", "--sockets", "2", "--scale", "tiny",
+        "--cta-policy", "round_robin",
+    ])
+    assert code == 0
+    assert "/round_robin/" in capsys.readouterr().out
+
+
+def test_topology_describe_distances(capsys):
+    assert main([
+        "topology", "describe", "ring", "--sockets", "4", "--distances",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Distance model: hop matrix" in out
+    assert "bottleneck bandwidth" in out
+    assert "mean socket distance (model): 1.33 hops" in out
+
+
+def test_parser_rejects_unknown_locality_kinds():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "HPC-AMG", "--placement", "magic"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "HPC-AMG", "--cta-policy", "magic"])
