@@ -1,0 +1,100 @@
+"""Committed finding baseline: grandfather old findings, gate new ones.
+
+The baseline file (``lint_baseline.json`` at the repo root) records the
+findings a past PR consciously accepted. The drift gate is asymmetric:
+
+* a finding **not** covered by the baseline is *new* — the lint fails;
+* a baseline entry with no matching finding is *stale* — the lint warns
+  (so cleanups show up) but passes; ``--update-baseline`` rewrites the
+  file to the current state.
+
+Entries match on :meth:`repro.analysis.core.Finding.key` — ``(rule,
+path, symbol, message)`` with a per-key count — so unrelated edits that
+shift line numbers never invalidate the baseline, while a *second*
+instance of a grandfathered pattern in the same function still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+#: Default baseline filename, resolved against the repo root.
+BASELINE_NAME = "lint_baseline.json"
+
+
+@dataclass
+class BaselineDiff:
+    """Outcome of matching current findings against the baseline."""
+
+    #: findings not covered by the baseline (these fail the lint).
+    new: list[Finding] = field(default_factory=list)
+    #: baseline keys with fewer (or no) current findings (warn only).
+    stale: list[dict] = field(default_factory=list)
+    #: number of current findings absorbed by the baseline.
+    baselined: int = 0
+
+
+def load_baseline(path: Path) -> Counter:
+    """Baseline key counts; an absent file is an empty baseline."""
+    if not path.is_file():
+        return Counter()
+    data = json.loads(path.read_text())
+    counts: Counter = Counter()
+    for entry in data.get("findings", []):
+        key = (entry["rule"], entry["path"], entry["symbol"], entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> int:
+    """Write the current findings as the new baseline; returns entry count."""
+    counts = Counter(f.key() for f in findings)
+    entries = [
+        {
+            "rule": rule,
+            "path": relpath,
+            "symbol": symbol,
+            "message": message,
+            "count": count,
+        }
+        for (rule, relpath, symbol, message), count in sorted(counts.items())
+    ]
+    payload = {
+        "comment": (
+            "Grandfathered repro-lint findings. New findings fail CI; "
+            "stale entries warn. Regenerate with: repro lint src scripts "
+            "--update-baseline"
+        ),
+        "version": 1,
+        "findings": entries,
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def diff_against_baseline(findings: list[Finding], baseline: Counter) -> BaselineDiff:
+    """Split findings into new vs baselined and report stale entries."""
+    diff = BaselineDiff()
+    remaining = Counter(baseline)
+    for finding in findings:
+        key = finding.key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            diff.baselined += 1
+        else:
+            diff.new.append(finding)
+    for (rule, relpath, symbol, message), count in sorted(remaining.items()):
+        if count > 0:
+            diff.stale.append({
+                "rule": rule,
+                "path": relpath,
+                "symbol": symbol,
+                "message": message,
+                "count": count,
+            })
+    return diff

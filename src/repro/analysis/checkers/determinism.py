@@ -1,0 +1,232 @@
+"""Rule ``determinism``: sources of run-to-run nondeterminism.
+
+The determinism contract (DESIGN.md) promises bit-identical results for
+a given config + workload: the goldens, the parallel==serial smoke, and
+the disk cache all depend on it. This checker flags the four ways a
+change has historically threatened (or could threaten) that contract:
+
+1. **Unseeded RNGs** — ``random.Random()`` with no seed argument, and
+   any use of the module-level ``random.*`` functions (they share global
+   state across call sites and processes; the workload layer's seeded
+   per-kernel ``random.Random(seed)`` instances are the only sanctioned
+   randomness).
+2. **Wall-clock reads in sim-state modules** — ``time.time()`` /
+   ``perf_counter()`` / ``monotonic()`` inside the simulator core
+   (``sim``, ``gpu``, ``memory``, ``interconnect``, ``topology``,
+   ``locality``, ``runtime``, ``core``). Harness/scripts wall-time
+   measurement is fine; a wall-clock value reaching engine scheduling
+   is not. Legit in-core measurement (e.g. the events/sec tally) opts
+   out per line.
+3. **Builtin ``hash()``** — salted per process for str/bytes under
+   PYTHONHASHSEED; any hash-derived value that reaches sim state or an
+   export breaks cross-process reproducibility.
+4. **Unordered ``set`` iteration** in sim-state modules — iterating a
+   set whose element order feeds an order-sensitive sink (scheduling,
+   stats, routing) reproduces only by accident. Sets built from ints
+   iterate deterministically *per process* but their order is an
+   implementation detail; wrap in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, LintChecker
+
+#: Module-path segments that mark simulator-core (sim-state) code.
+SIM_STATE_PARTS = frozenset({
+    "sim", "gpu", "memory", "interconnect", "topology", "locality",
+    "runtime", "core",
+})
+
+#: Wall-clock functions of the ``time`` module.
+_CLOCK_FNS = frozenset({
+    "time", "perf_counter", "monotonic", "process_time", "time_ns",
+    "perf_counter_ns", "monotonic_ns",
+})
+
+#: Module-level ``random`` functions that mutate/read the global RNG.
+_GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "lognormvariate", "getrandbits", "seed",
+})
+
+#: Call wrappers that make iteration order irrelevant.
+_ORDER_INSENSITIVE_WRAPPERS = frozenset({
+    "sorted", "sum", "len", "min", "max", "any", "all", "set",
+    "frozenset",
+})
+
+
+def _is_sim_state_path(relpath: str) -> bool:
+    parts = relpath.replace("\\", "/").split("/")
+    return bool(SIM_STATE_PARTS.intersection(parts[:-1]))
+
+
+def _call_name(node: ast.Call) -> tuple[str | None, str | None]:
+    """(module_or_None, function) for ``m.f(...)`` / ``f(...)`` calls."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    if isinstance(func, ast.Name):
+        return None, func.id
+    return None, None
+
+
+class DeterminismChecker(LintChecker):
+    """Flag statically-detectable determinism hazards."""
+
+    rule = "determinism"
+    description = (
+        "unseeded/global RNGs, wall-clock reads or unordered set "
+        "iteration in sim-state modules, builtin hash()"
+    )
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._sim_state = _is_sim_state_path(ctx.relpath)
+        #: names bound from ``from random import x`` / ``from time import x``
+        self._random_aliases: dict[str, str] = {}
+        self._clock_aliases: dict[str, str] = {}
+        #: local names known to hold a bare set in the current file.
+        self._set_names: set[str] = set()
+
+    def on_node(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.ImportFrom):
+            self._track_import(node, ctx)
+        elif isinstance(node, ast.Call):
+            self._check_call(node, ctx)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            self._track_set_binding(node)
+        elif isinstance(node, ast.For):
+            self._check_iteration(node.iter, node, ctx)
+        elif isinstance(node, ast.comprehension):
+            self._check_iteration(node.iter, node.iter, ctx)
+
+    # ------------------------------------------------------------------
+    # RNG / clock / hash
+    # ------------------------------------------------------------------
+    def _track_import(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                name = alias.asname or alias.name
+                if alias.name in _GLOBAL_RANDOM_FNS:
+                    self._random_aliases[name] = alias.name
+                    ctx.report(
+                        self.rule, node,
+                        f"'from random import {alias.name}' binds the "
+                        "module-level RNG (shared global state); use a "
+                        "seeded random.Random instance",
+                    )
+        elif node.module == "time" and self._sim_state:
+            for alias in node.names:
+                if alias.name in _CLOCK_FNS:
+                    self._clock_aliases[alias.asname or alias.name] = alias.name
+
+    def _check_call(self, node: ast.Call, ctx: FileContext) -> None:
+        mod, fn = _call_name(node)
+        if fn is None:
+            return
+        if mod == "random" and fn == "Random":
+            if not node.args and not node.keywords:
+                ctx.report(
+                    self.rule, node,
+                    "unseeded random.Random() — results differ per "
+                    "process; pass an explicit seed",
+                )
+        elif (mod == "random" and fn in _GLOBAL_RANDOM_FNS) or (
+            mod is None and fn in self._random_aliases
+        ):
+            target = fn if mod else self._random_aliases[fn]
+            ctx.report(
+                self.rule, node,
+                f"module-level random.{target}() uses the shared global "
+                "RNG; use a seeded random.Random instance",
+            )
+        elif self._sim_state and (
+            (mod == "time" and fn in _CLOCK_FNS)
+            or (mod is None and fn in self._clock_aliases)
+        ):
+            target = fn if mod else self._clock_aliases[fn]
+            ctx.report(
+                self.rule, node,
+                f"wall-clock time.{target}() in a sim-state module — "
+                "simulated behaviour must be a function of config + "
+                "workload only",
+            )
+        elif mod is None and fn == "hash" and node.args:
+            ctx.report(
+                self.rule, node,
+                "builtin hash() is salted per process for str/bytes "
+                "(PYTHONHASHSEED); use hashlib or a stable key instead",
+            )
+
+    # ------------------------------------------------------------------
+    # set iteration
+    # ------------------------------------------------------------------
+    def _track_set_binding(self, node: ast.Assign | ast.AnnAssign) -> None:
+        value = node.value
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            targets = [node.target]
+            ann = node.annotation
+            # `x: set[...] = ...` annotations mark set names even when
+            # the initializer is opaque.
+            if _annotation_is_set(ann):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self._set_names.add(target.id)
+        if value is not None and _is_set_expr(value):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self._set_names.add(target.id)
+        elif value is not None:
+            # A rebind to a non-set expression clears the mark.
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self._set_names.discard(target.id)
+
+    def _check_iteration(self, iterable: ast.expr, where: ast.AST,
+                         ctx: FileContext) -> None:
+        if not self._sim_state:
+            return
+        if _is_set_expr(iterable) or (
+            isinstance(iterable, ast.Name) and iterable.id in self._set_names
+        ):
+            ctx.report(
+                self.rule, where,
+                "iteration over a set has no contractual order; wrap in "
+                "sorted(...) before it feeds sim state or output",
+            )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra keeps set-ness when either side is set-like.
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _annotation_is_set(ann: ast.expr | None) -> bool:
+    if ann is None:
+        return False
+    if isinstance(ann, ast.Name):
+        return ann.id in ("set", "frozenset")
+    if isinstance(ann, ast.Subscript):
+        return _annotation_is_set(ann.value)
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        text = ann.value.strip()
+        return text.startswith("set[") or text.startswith("frozenset[") or text in (
+            "set", "frozenset"
+        )
+    return False

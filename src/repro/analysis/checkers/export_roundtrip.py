@@ -1,0 +1,217 @@
+"""Rule ``export-roundtrip``: RunResult fields must survive JSON.
+
+The on-disk result cache and the experiment harness both rely on
+``result_to_json_dict`` / ``result_from_json_dict`` being lossless
+inverses. A field added to ``RunResult`` but forgotten in either
+direction silently truncates every cached result (the reload compares
+equal to a *different* run). This checker cross-references three
+locations per lint run:
+
+* the ``RunResult`` dataclass definition (its field list is the
+  contract);
+* the serializer — string keys of dict literals plus
+  ``payload["key"] = ...`` subscript assignments inside
+  ``result_to_json_dict``;
+* the deserializer — keyword arguments of the ``RunResult(...)`` call
+  inside ``result_from_json_dict``.
+
+Every field must appear in both directions, or be listed in a
+module-level ``JSON_OMITTED_FIELDS`` tuple/set in the export module
+(the explicit opt-out for derived/ephemeral fields). Conditional
+emission (``if result.edges: payload["edges"] = ...``) counts as
+serialized — the goldens-stability idiom of omitting empty defaults is
+exactly what the conditional form expresses.
+
+Generic escape hatches are recognised: a serializer built on
+``dataclasses.asdict``/``vars`` covers every field structurally, as
+does a deserializer splatting ``RunResult(**data)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, LintChecker, Project
+
+#: The dataclass whose JSON round-trip is verified.
+RESULT_CLASS = "RunResult"
+TO_JSON_FN = "result_to_json_dict"
+FROM_JSON_FN = "result_from_json_dict"
+#: Optional module-level constant naming fields intentionally left out.
+OMITTED_CONST = "JSON_OMITTED_FIELDS"
+
+
+def _find_function(tree: ast.Module, name: str) -> ast.FunctionDef | None:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _find_dataclass_fields(project: Project, class_name: str) -> list[str]:
+    for ctx in sorted(project.files.values(), key=lambda c: c.relpath):
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                return [
+                    stmt.target.id
+                    for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and "ClassVar" not in ast.unparse(stmt.annotation)
+                ]
+    return []
+
+
+def _omitted_fields(tree: ast.Module) -> set[str]:
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        names = {t.id for t in targets if isinstance(t, ast.Name)}
+        if OMITTED_CONST not in names or node.value is None:
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List, ast.Set)):
+            return {
+                elt.value for elt in node.value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            }
+    return set()
+
+
+def _serialized_keys(fn: ast.FunctionDef) -> tuple[set[str], bool]:
+    """(string keys written, uses a generic asdict/vars serializer)."""
+    keys: set[str] = set()
+    generic = False
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+        elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store):
+            sl = node.slice
+            if isinstance(sl, ast.Constant) and isinstance(sl.value, str):
+                keys.add(sl.value)
+        elif isinstance(node, ast.Call):
+            f = node.func
+            name = (
+                f.attr if isinstance(f, ast.Attribute)
+                else f.id if isinstance(f, ast.Name) else None
+            )
+            # asdict(result) / vars(result) at the top of the serializer
+            # covers every field without naming any.
+            if name in ("asdict", "vars") and node.args:
+                generic = True
+    return keys, generic
+
+
+def _restored_kwargs(fn: ast.FunctionDef, class_name: str) -> tuple[set[str], bool]:
+    """(keywords passed to ``class_name(...)``, uses ``**`` splat)."""
+    kwargs: set[str] = set()
+    generic = False
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        f = node.func
+        name = (
+            f.attr if isinstance(f, ast.Attribute)
+            else f.id if isinstance(f, ast.Name) else None
+        )
+        if name != class_name:
+            continue
+        for kw in node.keywords:
+            if kw.arg is None:
+                generic = True
+            else:
+                kwargs.add(kw.arg)
+    return kwargs, generic
+
+
+class ExportRoundTripChecker(LintChecker):
+    """Verify RunResult's JSON serializer/deserializer cover all fields."""
+
+    rule = "export-roundtrip"
+    description = (
+        "every RunResult field appears in both result_to_json_dict and "
+        "result_from_json_dict (or in JSON_OMITTED_FIELDS)"
+    )
+
+    result_class = RESULT_CLASS
+    to_json_fn = TO_JSON_FN
+    from_json_fn = FROM_JSON_FN
+
+    def finalize(self, project: Project) -> list[Finding]:
+        ctx = project.find_module(defines=(self.to_json_fn, self.from_json_fn))
+        if ctx is None:
+            return []
+        fields = _find_dataclass_fields(project, self.result_class)
+        if not fields:
+            # Linting the export module without the report module in
+            # scope: nothing to verify against.
+            return []
+        to_fn = _find_function(ctx.tree, self.to_json_fn)
+        from_fn = _find_function(ctx.tree, self.from_json_fn)
+        omitted = _omitted_fields(ctx.tree)
+        findings: list[Finding] = []
+        if to_fn is not None:
+            keys, generic = _serialized_keys(to_fn)
+            if not generic:
+                for field_name in fields:
+                    if field_name in keys or field_name in omitted:
+                        continue
+                    findings.append(Finding(
+                        rule=self.rule,
+                        path=ctx.relpath,
+                        line=to_fn.lineno,
+                        message=(
+                            f"{self.result_class}.{field_name} is never "
+                            f"written by {self.to_json_fn}() — cached "
+                            "results drop the field on save (add it, or "
+                            f"list it in {OMITTED_CONST})"
+                        ),
+                        symbol=self.to_json_fn,
+                    ))
+        if from_fn is not None:
+            kwargs, generic = _restored_kwargs(from_fn, self.result_class)
+            if not generic:
+                for field_name in fields:
+                    if field_name in kwargs or field_name in omitted:
+                        continue
+                    findings.append(Finding(
+                        rule=self.rule,
+                        path=ctx.relpath,
+                        line=from_fn.lineno,
+                        message=(
+                            f"{self.result_class}.{field_name} is never "
+                            f"restored by {self.from_json_fn}() — reloaded "
+                            "results silently fall back to the default "
+                            f"(add it, or list it in {OMITTED_CONST})"
+                        ),
+                        symbol=self.from_json_fn,
+                    ))
+        # Stale opt-outs: an omitted field that no longer exists on the
+        # dataclass means the constant has drifted from the contract.
+        for name in sorted(omitted - set(fields)):
+            findings.append(Finding(
+                rule=self.rule,
+                path=ctx.relpath,
+                line=1,
+                message=(
+                    f"{OMITTED_CONST} lists {name!r} but "
+                    f"{self.result_class} has no such field"
+                ),
+                symbol="<module>",
+            ))
+        return self._suppressed(findings, ctx)
+
+    def _suppressed(self, findings: list[Finding], ctx) -> list[Finding]:
+        out = []
+        for finding in findings:
+            allowed = ctx.suppressions.get(finding.line, frozenset())
+            if self.rule in allowed or "all" in allowed:
+                continue
+            out.append(finding)
+        return out

@@ -1,0 +1,262 @@
+"""Rule ``fingerprint-complete``: config identity must cover every field.
+
+PR 1 existed because the experiment memo key was a *hand-picked* tuple
+of config fields: configs differing only in the unlisted fields
+(``noc_bandwidth``, ``dram_latency``, L1 geometry, ...) silently aliased
+to the same cache entry and re-used each other's results. The fix was
+``config_fingerprint``'s introspective walk over ``dataclasses.fields``.
+This checker makes that bug class un-shippable either way the function
+is written:
+
+* **Generic walk** — if the fingerprint function (or a helper it calls
+  in the same module) iterates ``dataclasses.fields(...)``, every field
+  is structurally covered; the checker then only flags *name-based
+  filtering* (comparing ``f.name`` against string constants), because a
+  field excluded from identity is exactly the aliasing hazard.
+* **Explicit key** — if the function builds the key from attribute
+  accesses (the PR-1 shape), the checker collects every attribute name
+  read anywhere in the function's call graph and reports each reachable
+  dataclass field that is never read. "Reachable" is the transitive
+  closure of dataclass-typed field annotations starting at the root
+  config class, with string annotations (``"TopologySpec | None"``)
+  resolved by identifier.
+
+The root class and fingerprint function are located by name anywhere in
+the linted tree (``SystemConfig`` / ``config_fingerprint``), so the
+checker works unchanged on fixture projects — the regression fixture in
+``tests/test_lint.py`` re-creates the PR-1 bug and must keep failing.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import Finding, LintChecker, Project
+
+#: Name of the root config dataclass whose field tree defines identity.
+ROOT_CLASS = "SystemConfig"
+#: Name of the fingerprint function whose coverage is verified.
+FINGERPRINT_FN = "config_fingerprint"
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _dataclass_defs(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    """Module-level classes decorated with ``@dataclass``/``@dataclass(...)``."""
+    out: dict[str, ast.ClassDef] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = (
+                target.attr if isinstance(target, ast.Attribute)
+                else target.id if isinstance(target, ast.Name) else None
+            )
+            if name == "dataclass":
+                out[node.name] = node
+                break
+    return out
+
+
+def _class_fields(node: ast.ClassDef) -> list[tuple[str, str]]:
+    """(field name, annotation source) pairs of one dataclass body."""
+    fields: list[tuple[str, str]] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            ann = ast.unparse(stmt.annotation)
+            if "ClassVar" in ann:
+                continue
+            fields.append((stmt.target.id, ann))
+    return fields
+
+
+def _annotation_idents(ann: str) -> set[str]:
+    """All identifiers in an annotation (string forms included)."""
+    return set(_IDENT_RE.findall(ann.replace('"', " ").replace("'", " ")))
+
+
+class FingerprintChecker(LintChecker):
+    """Verify the config fingerprint covers the whole dataclass tree."""
+
+    rule = "fingerprint-complete"
+    description = (
+        "every dataclass field reachable from SystemConfig participates "
+        "in config_fingerprint (the PR-1 memo-aliasing bug class)"
+    )
+
+    root_class = ROOT_CLASS
+    fingerprint_fn = FINGERPRINT_FN
+
+    def finalize(self, project: Project) -> list[Finding]:
+        ctx = project.find_module(defines=(self.fingerprint_fn,))
+        if ctx is None:
+            # Nothing to check in this tree (e.g. linting scripts/ only).
+            return []
+        fn_def, helpers = self._call_graph(ctx.tree)
+        if fn_def is None:
+            return []
+        findings: list[Finding] = []
+        reachable = self._reachable_fields(project)
+        if not reachable:
+            findings.append(Finding(
+                rule=self.rule,
+                path=ctx.relpath,
+                line=fn_def.lineno,
+                message=(
+                    f"found {self.fingerprint_fn}() but no "
+                    f"{self.root_class} dataclass to verify it against"
+                ),
+                symbol=self.fingerprint_fn,
+            ))
+            return self._suppressed(findings, ctx)
+        bodies = [fn_def] + helpers
+        if self._has_generic_walk(bodies):
+            for name, line in self._name_filters(bodies):
+                findings.append(Finding(
+                    rule=self.rule,
+                    path=ctx.relpath,
+                    line=line,
+                    message=(
+                        f"field {name!r} is filtered out of the "
+                        "fingerprint by name — excluded fields alias "
+                        "configs that differ only there"
+                    ),
+                    symbol=self.fingerprint_fn,
+                ))
+            return self._suppressed(findings, ctx)
+        read = self._attributes_read(bodies)
+        for cls_name, field_name, line_hint in reachable:
+            if field_name not in read:
+                findings.append(Finding(
+                    rule=self.rule,
+                    path=ctx.relpath,
+                    line=fn_def.lineno,
+                    message=(
+                        f"{cls_name}.{field_name} is never read by "
+                        f"{self.fingerprint_fn}() — configs differing "
+                        "only in that field get the same identity "
+                        "(the PR-1 memo-aliasing bug)"
+                    ),
+                    symbol=self.fingerprint_fn,
+                ))
+        return self._suppressed(findings, ctx)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _suppressed(self, findings: list[Finding], ctx) -> list[Finding]:
+        """Apply the reporting module's per-line suppressions."""
+        out = []
+        for finding in findings:
+            allowed = ctx.suppressions.get(finding.line, frozenset())
+            if self.rule in allowed or "all" in allowed:
+                continue
+            out.append(finding)
+        return out
+
+    def _call_graph(
+        self, tree: ast.Module
+    ) -> tuple[ast.FunctionDef | None, list[ast.FunctionDef]]:
+        """The fingerprint function plus same-module helpers it calls."""
+        module_fns = {
+            node.name: node
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        root = module_fns.get(self.fingerprint_fn)
+        if root is None:
+            return None, []
+        seen = {root.name}
+        frontier = [root]
+        helpers: list[ast.FunctionDef] = []
+        while frontier:
+            fn = frontier.pop()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                    callee = module_fns.get(node.func.id)
+                    if callee is not None and callee.name not in seen:
+                        seen.add(callee.name)
+                        helpers.append(callee)
+                        frontier.append(callee)
+        return root, helpers
+
+    def _reachable_fields(self, project: Project) -> list[tuple[str, str, int]]:
+        """(class, field, lineno) for the root class's transitive fields."""
+        defs: dict[str, ast.ClassDef] = {}
+        for ctx in project.files.values():
+            defs.update(_dataclass_defs(ctx.tree))
+        if self.root_class not in defs:
+            return []
+        out: list[tuple[str, str, int]] = []
+        seen = {self.root_class}
+        frontier = [self.root_class]
+        while frontier:
+            cls = defs[frontier.pop()]
+            for field_name, ann in _class_fields(cls):
+                out.append((cls.name, field_name, cls.lineno))
+                for ident in _annotation_idents(ann):
+                    if ident in defs and ident not in seen:
+                        seen.add(ident)
+                        frontier.append(ident)
+        return out
+
+    def _has_generic_walk(self, bodies: list[ast.FunctionDef]) -> bool:
+        """Does any body iterate ``dataclasses.fields(...)``?"""
+        for fn in bodies:
+            for node in ast.walk(fn):
+                iters: list[ast.expr] = []
+                if isinstance(node, ast.For):
+                    iters.append(node.iter)
+                elif isinstance(node, ast.comprehension):
+                    iters.append(node.iter)
+                for it in iters:
+                    if isinstance(it, ast.Call):
+                        f = it.func
+                        name = (
+                            f.attr if isinstance(f, ast.Attribute)
+                            else f.id if isinstance(f, ast.Name) else None
+                        )
+                        if name == "fields":
+                            return True
+        return False
+
+    def _name_filters(self, bodies: list[ast.FunctionDef]) -> list[tuple[str, int]]:
+        """String constants a ``.name`` attribute is compared against."""
+        out: list[tuple[str, int]] = []
+        for fn in bodies:
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Compare):
+                    continue
+                sides = [node.left] + list(node.comparators)
+                has_name_attr = any(
+                    isinstance(s, ast.Attribute) and s.attr == "name"
+                    for s in sides
+                )
+                if not has_name_attr:
+                    continue
+                for side in sides:
+                    for const in ast.walk(side):
+                        if isinstance(const, ast.Constant) and isinstance(
+                            const.value, str
+                        ):
+                            out.append((const.value, node.lineno))
+        return out
+
+    def _attributes_read(self, bodies: list[ast.FunctionDef]) -> set[str]:
+        """Every attribute name loaded anywhere in the call graph."""
+        read: set[str] = set()
+        for fn in bodies:
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Attribute) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    read.add(node.attr)
+                elif isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    # getattr(obj, "field") / f.name == "field" string
+                    # forms count as reads too.
+                    read.add(node.value)
+        return read

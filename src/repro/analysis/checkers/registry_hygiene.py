@@ -1,0 +1,168 @@
+"""Rule ``registry-hygiene``: registered policies stay documented + tested.
+
+The locality layer is deliberately open: a new placement or CTA policy
+is one class plus one registry entry, and the spec layer exposes it by
+kind string with no further wiring. The cost of that openness is that
+nothing structurally forces a new policy to be explained or exercised —
+a registered-but-untested policy is reachable from every config file
+yet covered by nothing. This checker closes the loop for every entry of
+``PAGE_POLICIES`` and ``CTA_POLICIES``:
+
+* the registered class must have a docstring (the registry is the
+  user-facing catalogue; ``repro list`` and DESIGN.md both lean on it);
+* the kind string must appear as a quoted literal in at least one file
+  under ``tests/`` — the cheapest possible proxy for "some test
+  constructs this policy by its public name".
+
+Both registry shapes in the codebase are understood: a dict literal
+with string keys (``{"contiguous": ContiguousCta, ...}``, aliases
+allowed) and a comprehension over a class tuple
+(``{cls.kind: cls for cls in (...)}``), with ``kind`` read from each
+class body.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, LintChecker, Project
+
+#: Registry variable names to audit (module-level dict assignments).
+REGISTRY_NAMES = ("PAGE_POLICIES", "CTA_POLICIES")
+
+
+def _class_defs(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+def _kind_of(cls: ast.ClassDef) -> str | None:
+    """The ``kind = "..."`` class attribute, if present."""
+    for stmt in cls.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "kind":
+                value = stmt.value
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    return value.value
+    return None
+
+
+def _registry_entries(
+    node: ast.Assign, classes: dict[str, ast.ClassDef]
+) -> list[tuple[str, ast.ClassDef | None]]:
+    """(kind, class def or None) pairs of one registry assignment."""
+    value = node.value
+    entries: list[tuple[str, ast.ClassDef | None]] = []
+    if isinstance(value, ast.Dict):
+        for key, val in zip(value.keys, value.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            cls = classes.get(val.id) if isinstance(val, ast.Name) else None
+            entries.append((key.value, cls))
+    elif isinstance(value, ast.DictComp):
+        # {cls.kind: cls for cls in (A, B, ...)}
+        if len(value.generators) != 1:
+            return []
+        it = value.generators[0].iter
+        if not isinstance(it, (ast.Tuple, ast.List)):
+            return []
+        for elt in it.elts:
+            if not isinstance(elt, ast.Name):
+                continue
+            cls = classes.get(elt.id)
+            if cls is None:
+                continue
+            kind = _kind_of(cls)
+            if kind:
+                entries.append((kind, cls))
+    return entries
+
+
+class RegistryHygieneChecker(LintChecker):
+    """Every registered policy has a docstring and a kind-string test."""
+
+    rule = "registry-hygiene"
+    description = (
+        "registered placement/CTA policies have docstrings and at least "
+        "one test referencing their kind string"
+    )
+
+    registry_names = REGISTRY_NAMES
+
+    def finalize(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        test_texts = [text for _, text in project.test_sources()]
+        for relpath in sorted(project.files):
+            ctx = project.files[relpath]
+            classes = _class_defs(ctx.tree)
+            for node in ctx.tree.body:
+                if not isinstance(node, ast.Assign):
+                    continue
+                names = {
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                }
+                if not names.intersection(self.registry_names):
+                    continue
+                registry = sorted(names.intersection(self.registry_names))[0]
+                seen_classes: set[str] = set()
+                for kind, cls in _registry_entries(node, classes):
+                    if cls is not None and cls.name not in seen_classes:
+                        seen_classes.add(cls.name)
+                        if not ast.get_docstring(cls):
+                            findings.append(Finding(
+                                rule=self.rule,
+                                path=relpath,
+                                line=cls.lineno,
+                                message=(
+                                    f"policy {cls.name!r} (kind {kind!r} "
+                                    f"in {registry}) has no docstring — "
+                                    "the registry is the user-facing "
+                                    "catalogue"
+                                ),
+                                symbol=cls.name,
+                            ))
+                    if test_texts and not self._kind_referenced(
+                        kind, test_texts
+                    ):
+                        findings.append(Finding(
+                            rule=self.rule,
+                            path=relpath,
+                            line=node.lineno,
+                            message=(
+                                f"kind {kind!r} in {registry} is never "
+                                "referenced as a literal by any test — "
+                                "registered policies need at least one "
+                                "test using their public name"
+                            ),
+                            symbol=registry,
+                        ))
+        return self._suppressed(findings, project)
+
+    @staticmethod
+    def _kind_referenced(kind: str, test_texts: list[str]) -> bool:
+        single, double = f"'{kind}'", f'"{kind}"'
+        return any(single in text or double in text for text in test_texts)
+
+    def _suppressed(self, findings: list[Finding],
+                    project: Project) -> list[Finding]:
+        out = []
+        for finding in findings:
+            ctx = project.files.get(finding.path)
+            if ctx is not None:
+                allowed = ctx.suppressions.get(finding.line, frozenset())
+                if self.rule in allowed or "all" in allowed:
+                    continue
+            out.append(finding)
+        return out

@@ -1,0 +1,60 @@
+"""Lint output renderers: human text and machine JSON.
+
+Both render the same :class:`~repro.analysis.baseline.BaselineDiff`
+view: *new* findings (gate failures), baselined count, and stale
+baseline entries (warnings). The JSON form is the CI artifact — stable
+keys, sorted rows — so the gate can be post-processed without scraping
+text.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import BaselineDiff
+from repro.analysis.core import Finding
+
+
+def render_text(
+    findings: list[Finding],
+    diff: BaselineDiff,
+    checked_files: int,
+) -> str:
+    """Human-readable report (one line per new finding)."""
+    lines: list[str] = []
+    for finding in diff.new:
+        lines.append(finding.render())
+    if diff.stale:
+        lines.append("")
+        for entry in diff.stale:
+            lines.append(
+                f"warning: stale baseline entry ({entry['count']}x) "
+                f"{entry['path']} [{entry['rule']}] {entry['symbol']}: "
+                f"{entry['message']}"
+            )
+    lines.append("")
+    status = "FAIL" if diff.new else "OK"
+    lines.append(
+        f"{status}: {len(diff.new)} new finding(s), "
+        f"{diff.baselined} baselined, {len(diff.stale)} stale baseline "
+        f"entr{'y' if len(diff.stale) == 1 else 'ies'}, "
+        f"{checked_files} file(s) checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: list[Finding],
+    diff: BaselineDiff,
+    checked_files: int,
+) -> str:
+    """Machine-readable report (the CI gate artifact)."""
+    payload = {
+        "ok": not diff.new,
+        "checked_files": checked_files,
+        "new_findings": [f.to_dict() for f in diff.new],
+        "baselined_count": diff.baselined,
+        "stale_baseline": diff.stale,
+        "all_findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)

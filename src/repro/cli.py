@@ -9,6 +9,7 @@ Installed as the ``repro`` console script::
     repro experiment topology          # policy x fabric x socket sweep
     repro topology describe ring --sockets 8   # graph + routing tables
     repro trace HPC-MCB out.trace      # record a replayable trace
+    repro lint src scripts             # contract-enforcing static analysis
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.config import (
     CacheArch,
     CtaPolicy,
@@ -146,6 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("workload")
     trace.add_argument("output")
     trace.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the contract checkers (determinism, fingerprint "
+        "completeness, hot-path discipline, export round-trip, registry "
+        "hygiene) with a baseline gate",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -328,6 +338,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_experiment(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "lint":
+        return run_lint(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -448,7 +448,8 @@ class GpuSocket:
                 t = begin + noc_latency + migration_extra
                 bucket = bucket_get(t)
                 if bucket is None:
-                    buckets[t] = [wp.st_l2]
+                    # A new time bucket is necessarily a fresh list.
+                    buckets[t] = [wp.st_l2]  # repro-lint: disable=hot-path-alloc
                     heappush(times, t)
                 else:
                     bucket.append(wp.st_l2)
@@ -504,7 +505,8 @@ class GpuSocket:
             t = begin + noc_latency + migration_extra
             bucket = bucket_get(t)
             if bucket is None:
-                buckets[t] = [rp.st_l2]
+                # A new time bucket is necessarily a fresh list.
+                buckets[t] = [rp.st_l2]  # repro-lint: disable=hot-path-alloc
                 heappush(times, t)
             else:
                 bucket.append(rp.st_l2)

@@ -14,9 +14,12 @@ registry). The two original policies are ported unchanged:
 New:
 
 * ``distance_affine`` — affinity-aware assignment: each CTA is placed
-  on the socket minimizing the hop-weighted cost of reaching the pages
-  it touches, subject to the same one-CTA balance bound the static
-  policies keep. Page touch profiles come from the materialized CTA
+  on the socket minimizing the distance-weighted cost of reaching the
+  pages it touches — hop counts scaled by bottleneck-bandwidth scarcity
+  (:meth:`~repro.locality.distance.DistanceModel.weighted_costs`), so
+  a route through a thin switch-tree trunk costs proportionally more
+  than the same hops over full-width edges — subject to the same
+  one-CTA balance bound the static policies keep. Page touch profiles come from the materialized CTA
   slice streams (the same plan-capture traces the harness pre-builds
   before every run, so profiling a CTA is a dictionary walk, not a
   re-generation), homes from the live first-touch table, and distances
@@ -144,7 +147,10 @@ class DistanceAffineCta(CtaAssignmentPolicy):
         homes = page_table.placement._page_home
         get_home = homes.get
         page_size = page_table.placement.page_size
-        hops = self._distance.hops
+        # Bandwidth-weighted hop costs: on uniform fabrics this IS the
+        # hop matrix; on asymmetric ones (switch-tree trunk) routes
+        # through thin links cost proportionally more.
+        costs = self._distance.weighted_costs()
         base, extra = divmod(n_ctas, n_sockets)
         caps = [base + (1 if s < extra else 0) for s in range(n_sockets)]
         socket_ids = [_socket_id(s) for s in sockets]
@@ -164,7 +170,7 @@ class DistanceAffineCta(CtaAssignmentPolicy):
             for s in range(n_sockets):
                 if len(blocks[s]) >= caps[s]:
                     continue
-                row = hops[socket_ids[s]]
+                row = costs[socket_ids[s]]
                 cost = sum(c * row[h] for h, c in items)
                 # Strict < keeps the smallest-index socket on ties.
                 if best_cost is None or cost < best_cost:

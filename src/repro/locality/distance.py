@@ -57,6 +57,43 @@ class DistanceModel:
         """Bottleneck per-direction bytes/cycle along the route."""
         return self.min_bandwidth[src][dst]
 
+    def weighted_costs(self) -> tuple[tuple[float, ...], ...]:
+        """Hop counts scaled by bottleneck-bandwidth scarcity.
+
+        ``cost[s][d] = hops[s][d] * (ref / min_bandwidth[s][d])`` where
+        ``ref`` is the largest finite off-diagonal bottleneck bandwidth
+        in the model, so the best-provisioned route is weighted exactly
+        by its hop count and a route through a half-width trunk costs
+        twice its hops. On a uniform fabric (ring, symmetric mesh, the
+        crossbar identity model) every weight is 1.0 and the matrix
+        equals the hop matrix — bandwidth-aware policies degrade exactly
+        to their hop-weighted behaviour there.
+
+        Degenerate models (no finite positive off-diagonal bandwidth,
+        e.g. ``identity()`` built with the 0.0 default) fall back to
+        plain hop counts: scarcity is meaningless without a bandwidth
+        scale.
+        """
+        n = self.n_sockets
+        finite = [
+            bw
+            for s in range(n)
+            for d in range(n)
+            if s != d and 0.0 < (bw := self.min_bandwidth[s][d]) != float("inf")
+        ]
+        if not finite or min(finite) <= 0.0:
+            return tuple(
+                tuple(float(h) for h in row) for row in self.hops
+            )
+        ref = max(finite)
+        return tuple(
+            tuple(
+                0.0 if s == d else self.hops[s][d] * (ref / self.min_bandwidth[s][d])
+                for d in range(n)
+            )
+            for s in range(n)
+        )
+
     def mean_hops(self) -> float:
         """Mean hops over all ordered distinct socket pairs."""
         n = self.n_sockets

@@ -615,3 +615,109 @@ def test_build_topology_forwards_heterogeneity_kwargs():
         replace(scaled_config(n_sockets=9),
                 topology=build_topology("mesh2d", 9))
     )
+
+
+# ---------------------------------------------------------------------------
+# bandwidth-weighted distance costs
+# ---------------------------------------------------------------------------
+
+
+def test_weighted_costs_uniform_fabric_equals_hops():
+    # Ring: every edge identical, so the scarcity weight is exactly 1.0
+    # and bandwidth-aware policies degrade to their hop-weighted
+    # behaviour (this is what keeps the locality goldens stable).
+    model = DistanceModel.from_spec(build_topology("ring", 6))
+    assert model.weighted_costs() == tuple(
+        tuple(float(h) for h in row) for row in model.hops
+    )
+
+
+def test_weighted_costs_scale_by_bottleneck_scarcity():
+    inf = float("inf")
+    model = DistanceModel(
+        hops=((0, 2, 1), (2, 0, 3), (1, 3, 0)),
+        min_bandwidth=((inf, 32.0, 8.0), (32.0, inf, 8.0), (8.0, 8.0, inf)),
+    )
+    costs = model.weighted_costs()
+    # Full-width route: weight 1.0; quarter-width route: weight 4.0.
+    assert costs[0][1] == 2.0
+    assert costs[0][2] == 4.0
+    assert costs[1][2] == 12.0
+    assert all(costs[s][s] == 0.0 for s in range(3))
+
+
+def test_weighted_costs_degenerate_model_falls_back_to_hops():
+    # identity() built without a bandwidth scale has nothing to weigh.
+    model = DistanceModel.identity(4)
+    assert model.weighted_costs() == tuple(
+        tuple(float(h) for h in row) for row in model.hops
+    )
+
+
+def test_distance_affine_prefers_bandwidth_over_raw_hops():
+    # Socket 1 is 2 full-width hops from the pages' home; socket 2 is
+    # 1 hop away but through a quarter-width trunk (cost 4.0 > 2.0).
+    # A hop-only policy would pick socket 2; the bandwidth-weighted one
+    # must pick socket 1.
+    inf = float("inf")
+    model = DistanceModel(
+        hops=((0, 2, 1), (2, 0, 3), (1, 3, 0)),
+        min_bandwidth=((inf, 32.0, 8.0), (32.0, inf, 8.0), (8.0, 8.0, inf)),
+    )
+    config = locality_config(n_sockets=2)
+    table = PageTable(config)
+    table.placement._page_home.update({0: 0, 1: 0})
+    policy = DistanceAffineCta(table, model)
+    kernel = _kernel_touching(
+        {cta: [0, 1] for cta in range(3)}, config.page_size
+    )
+    blocks = policy.assign(3, list(range(3)), kernel)
+    # CTA 0 takes the home socket; CTA 1 takes the far-but-wide socket 1
+    # (weighted cost 2.0/page) over the near-but-thin socket 2 (4.0).
+    assert blocks == [[0], [1], [2]]
+
+
+def test_distance_affine_on_thin_trunk_switch_tree():
+    # End to end through from_spec: a switch_tree with a half-width
+    # trunk yields asymmetric weighted costs between packages.
+    link = scaled_config(n_sockets=4).link
+    trunk = replace(link, lanes_per_direction=max(
+        1, link.lanes_per_direction // 2
+    ))
+    spec = build_topology("switch_tree", 4, link, trunk=trunk, n_packages=2)
+    model = DistanceModel.from_spec(spec)
+    costs = model.weighted_costs()
+    # Intra-package routes keep weight 1.0 (full-width edges only);
+    # cross-package routes cross the thin trunk and cost extra per hop.
+    assert costs[0][1] == float(model.hops[0][1])
+    assert costs[0][2] > float(model.hops[0][2])
+
+
+# ---------------------------------------------------------------------------
+# registry catalogue (the registry-hygiene lint leans on these literals)
+# ---------------------------------------------------------------------------
+
+
+def test_placement_registry_catalogue_is_exactly_the_known_kinds():
+    assert set(PAGE_POLICIES) == {
+        "fine_interleave", "page_interleave", "first_touch", "local_only",
+        "distance_weighted_first_touch", "access_counter_migration",
+    }
+
+
+def test_cta_registry_catalogue_is_exactly_the_known_kinds():
+    assert set(CTA_POLICIES) == {
+        "contiguous", "round_robin", "interleaved", "distance_affine",
+    }
+    # "interleaved" is the historical alias of round_robin.
+    assert CTA_POLICIES["interleaved"] is CTA_POLICIES["round_robin"]
+
+
+@pytest.mark.parametrize("kind", sorted(PAGE_POLICIES))
+def test_every_placement_policy_is_documented(kind):
+    assert PAGE_POLICIES[kind].__doc__, kind
+
+
+@pytest.mark.parametrize("kind", sorted(CTA_POLICIES))
+def test_every_cta_policy_is_documented(kind):
+    assert CTA_POLICIES[kind].__doc__, kind
