@@ -24,6 +24,15 @@ captured from the drivers and fanned out over N worker processes; the
 figures are then computed from the warm cache and are bit-identical to a
 serial (``--jobs 1``) run. With the on-disk cache enabled, repeated
 invocations skip every already-completed simulation.
+
+The grid is executed under supervision (both serially and in parallel):
+a crashed, hung, or excepting simulation is retried with exponential
+backoff (``--max-retries``, ``--retry-base-delay``), hung workers are
+killed after ``--task-timeout`` seconds, and under ``--keep-going`` (the
+default) a permanently failing cell aborts nothing else — the run ends
+with a rendered FailureReport, a JSON copy next to the output file (or
+at ``--failure-report``), and exit code 1. ``--fail-fast`` aborts on the
+first exhausted cell instead.
 """
 
 from __future__ import annotations
@@ -32,8 +41,10 @@ import argparse
 import json
 import time
 
+from repro.errors import ExecutionError
 from repro.harness import experiments as E
 from repro.harness.parallel import ParallelRunner, make_context, resolve_jobs
+from repro.harness.supervisor import RetryPolicy
 from repro.workloads.spec import SCALES
 from repro.workloads.suite import (
     COMPACT_SET,
@@ -117,6 +128,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the on-disk result cache entirely",
     )
+    parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per simulation after a crash/hang/exception",
+    )
+    parser.add_argument(
+        "--retry-base-delay", type=float, default=0.5, metavar="SEC",
+        help="exponential-backoff base: retry k waits base * 2**k seconds",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SEC",
+        help="per-simulation wall-clock limit; a hung worker is killed "
+        "and the cell retried (default: no limit)",
+    )
+    policy = parser.add_mutually_exclusive_group()
+    policy.add_argument(
+        "--keep-going", dest="keep_going", action="store_true", default=True,
+        help="run every cell even if some fail permanently (default); "
+        "failures are reported at the end and the exit code is 1",
+    )
+    policy.add_argument(
+        "--fail-fast", dest="keep_going", action="store_false",
+        help="abort the run on the first permanently failed simulation",
+    )
+    parser.add_argument(
+        "--failure-report", default=None, metavar="PATH",
+        help="where to write the JSON failure report on a non-clean run "
+        "(default: <output>.failures.json)",
+    )
     return parser
 
 
@@ -174,17 +213,47 @@ def main(argv: list[str] | None = None) -> int:
         ),
     }
 
-    if jobs > 1:
-        runner = ParallelRunner(ctx, jobs=jobs)
+    # The whole grid is prewarmed under supervision even when serial, so
+    # --jobs 1 and --jobs N report failures identically and the figure
+    # pass below only ever reads a warm cache.
+    runner = ParallelRunner(
+        ctx,
+        jobs=jobs,
+        policy=RetryPolicy(
+            max_retries=args.max_retries,
+            base_delay=args.retry_base_delay,
+            task_timeout=args.task_timeout,
+            keep_going=args.keep_going,
+        ),
+    )
+    try:
         executed = runner.prewarm_experiments(
             drivers.values(),
             progress=lambda done, total: print(
                 f"prewarm {done}/{total}", round(time.time() - t0), flush=True
             ) if done % 25 == 0 or done == total else None,
         )
+    except ExecutionError as error:
+        report = error.report
+    else:
+        report = runner.report
         print(f"prewarmed {executed} simulations "
               f"({runner.skipped} cached) on {jobs} workers",
               round(time.time() - t0), flush=True)
+    if report is not None and report.tasks:
+        # Surface the attempt transcript even when every task recovered:
+        # a chaos run that converged still documents what it survived.
+        print(report.render(), flush=True)
+    if report is not None and not report.ok():
+        # Bail before the figure pass: a failed cell would otherwise be
+        # re-run serially by ctx.run() and crash mid-figure without the
+        # attempt accounting the supervisor collected.
+        report_path = args.failure_report or f"{output}.failures.json"
+        report.write_json(report_path)
+        print(f"failure report -> {report_path}", flush=True)
+        return 1
+    if args.failure_report and report is not None:
+        report.write_json(args.failure_report)
 
     out["figure2"] = drivers["figure2"](ctx).fill_percent
 

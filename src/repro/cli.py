@@ -143,6 +143,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the on-disk result cache at DIR "
         "('' = $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    exp.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per simulation after a crash/hang/exception "
+        "(default: 2)",
+    )
+    exp.add_argument(
+        "--retry-base-delay", type=float, default=0.5, metavar="SEC",
+        help="exponential-backoff base: retry k waits base * 2**k seconds "
+        "(default: 0.5)",
+    )
+    exp.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SEC",
+        help="per-simulation wall-clock limit; a hung worker is killed "
+        "and the cell retried (default: no limit)",
+    )
+    exp_policy = exp.add_mutually_exclusive_group()
+    exp_policy.add_argument(
+        "--keep-going", dest="keep_going", action="store_true", default=True,
+        help="run every cell even if some fail permanently (default)",
+    )
+    exp_policy.add_argument(
+        "--fail-fast", dest="keep_going", action="store_false",
+        help="abort the run on the first permanently failed simulation",
+    )
+    exp.add_argument(
+        "--failure-report", default=None, metavar="PATH",
+        help="write the JSON failure report here on any non-clean run",
+    )
 
     trace = sub.add_parser("trace", help="record a replayable trace")
     trace.add_argument("workload")
@@ -304,13 +332,37 @@ def cmd_topology_describe(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.errors import ExecutionError
     from repro.harness.parallel import ParallelRunner, make_context, resolve_jobs
+    from repro.harness.supervisor import RetryPolicy
 
     ctx = make_context(SCALES[args.scale], cache_dir=args.cache_dir)
     jobs = resolve_jobs(args.jobs)
     driver = EXPERIMENTS[args.name]
-    if jobs > 1:
-        ParallelRunner(ctx, jobs=jobs).prewarm_experiments([driver])
+    # The grid is prewarmed under supervision even serially, so --jobs 1
+    # and --jobs N retry and report failures identically.
+    runner = ParallelRunner(
+        ctx,
+        jobs=jobs,
+        policy=RetryPolicy(
+            max_retries=args.max_retries,
+            base_delay=args.retry_base_delay,
+            task_timeout=args.task_timeout,
+            keep_going=args.keep_going,
+        ),
+    )
+    try:
+        runner.prewarm_experiments([driver])
+    except ExecutionError as error:
+        report = error.report
+    else:
+        report = runner.report
+    if report is not None and report.tasks:
+        print(report.render(), file=sys.stderr)
+    if args.failure_report and report is not None:
+        report.write_json(args.failure_report)
+    if report is not None and not report.ok():
+        return 1
     result = driver(ctx)
     print(result.render())
     return 0

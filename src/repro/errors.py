@@ -42,3 +42,21 @@ class WorkloadError(ReproError):
 
 class RuntimeLaunchError(ReproError):
     """The NUMA GPU runtime could not launch or decompose a kernel."""
+
+
+class ExecutionError(ReproError):
+    """A supervised experiment run failed under a fail-fast policy.
+
+    Carries the structured :class:`repro.harness.supervisor.FailureReport`
+    in :attr:`report` so callers can render the attempt transcripts and
+    repro commands instead of just a message.
+    """
+
+    def __init__(self, report=None, message: str | None = None) -> None:
+        self.report = report
+        if message is None:
+            message = (
+                report.headline() if report is not None
+                else "supervised experiment execution failed"
+            )
+        super().__init__(message)

@@ -18,6 +18,7 @@ from repro.harness.experiments import (
     writeback_sensitivity,
 )
 from repro.harness.diskcache import ResultDiskCache
+from repro.harness.faults import FaultPlan, parse_fault_plan
 from repro.harness.formatting import format_speedup_bars, format_table
 from repro.harness.parallel import (
     ParallelRunner,
@@ -27,6 +28,7 @@ from repro.harness.parallel import (
     resolve_jobs,
 )
 from repro.harness.runner import ExperimentContext
+from repro.harness.supervisor import FailureReport, RetryPolicy
 
 __all__ = [
     "figure2",
@@ -47,10 +49,14 @@ __all__ = [
     "format_speedup_bars",
     "format_table",
     "ExperimentContext",
+    "FailureReport",
+    "FaultPlan",
     "ParallelRunner",
     "ResultDiskCache",
+    "RetryPolicy",
     "RunTask",
     "capture_plan",
     "make_context",
+    "parse_fault_plan",
     "resolve_jobs",
 ]

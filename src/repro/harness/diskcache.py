@@ -8,9 +8,20 @@ preset, timeline-recording flag, and the package version — so a cache
 entry can only ever be replayed for a bit-identical simulation setup, and
 upgrading the simulator invalidates every stale entry automatically.
 
-Entries are written atomically (tmp file + rename) so a killed run never
-leaves a truncated JSON behind, and unreadable entries are treated as
-misses rather than errors.
+Storage integrity contract (DESIGN.md, "Failure-handling contract"):
+
+* Entries are written atomically (tmp file + rename) so a killed run
+  never leaves a truncated JSON behind.
+* Every entry embeds a SHA-256 checksum over the canonical payload
+  serialization, verified on ``get``. An entry that fails to parse,
+  fails the checksum, or fails result reconstruction is **quarantined**
+  — renamed to ``<key>.corrupt`` and counted in :attr:`corrupt`,
+  separately from misses — so a broken entry is re-read and re-failed at
+  most once instead of on every subsequent run.
+* ``put`` never raises: a full disk, read-only cache root, or any other
+  ``OSError`` degrades to a one-time warning and a :attr:`put_errors`
+  count. A caching failure must never kill a suite whose simulation
+  already succeeded.
 """
 
 from __future__ import annotations
@@ -18,15 +29,23 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 
 import repro
 from repro.config import SystemConfig, config_digest
+from repro.harness import faults
 from repro.metrics.report import RunResult
 from repro.metrics.export import result_from_json_dict, result_to_json_dict
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Version tag of the on-disk envelope format.
+ENVELOPE_VERSION = 1
+
+#: Suffix given to quarantined (corrupt) entries.
+CORRUPT_SUFFIX = ".corrupt"
 
 _SOURCE_DIGEST: str | None = None
 
@@ -57,6 +76,17 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical JSON serialization of one payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class CacheIntegrityError(ValueError):
+    """An entry's envelope or checksum failed verification."""
+
+
 class ResultDiskCache:
     """A content-addressed store of finished :class:`RunResult` objects."""
 
@@ -64,6 +94,11 @@ class ResultDiskCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: entries quarantined after failing integrity verification.
+        self.corrupt = 0
+        #: writes that failed and were degraded to a warning.
+        self.put_errors = 0
+        self._put_warned = False
 
     # ------------------------------------------------------------------
     # keys
@@ -91,46 +126,129 @@ class ResultDiskCache:
         return self.root / f"{key}.json"
 
     # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _verified_payload(data: object) -> dict:
+        """The payload of one envelope, or raise CacheIntegrityError."""
+        if not isinstance(data, dict) or "payload" not in data:
+            raise CacheIntegrityError("entry is not a checksummed envelope")
+        payload = data["payload"]
+        if not isinstance(payload, dict):
+            raise CacheIntegrityError("entry payload is not an object")
+        expected = data.get("checksum")
+        if expected != payload_checksum(payload):
+            raise CacheIntegrityError("entry checksum mismatch")
+        return payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is never re-read again."""
+        self.corrupt += 1
+        try:
+            os.replace(path, path.with_suffix(CORRUPT_SUFFIX))
+        except OSError:
+            # Unmovable (e.g. read-only dir): leave it; the next get
+            # will re-fail, which is the pre-quarantine behaviour.
+            pass
+
+    # ------------------------------------------------------------------
     # get / put
     # ------------------------------------------------------------------
     def get(self, workload: str, scale_name: str, record_timelines: bool,
             config: SystemConfig) -> RunResult | None:
-        """Stored result for this exact setup, or None on a miss."""
+        """Stored result for this exact setup, or None on a miss.
+
+        Corrupt entries (unparseable JSON, bad envelope/checksum, or a
+        payload the current schema cannot reconstruct) are quarantined
+        and counted in :attr:`corrupt`; plain absence counts a miss.
+        """
         path = self.path_for(workload, scale_name, record_timelines, config)
         try:
-            data = json.loads(path.read_text())
-            result = result_from_json_dict(data)
-        except (OSError, ValueError, KeyError, TypeError):
+            text = path.read_text()
+        except OSError:
             self.misses += 1
+            return None
+        try:
+            payload = self._verified_payload(json.loads(text))
+            result = result_from_json_dict(payload)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             return None
         self.hits += 1
         return result
 
     def put(self, workload: str, scale_name: str, record_timelines: bool,
-            config: SystemConfig, result: RunResult) -> Path:
-        """Persist one result; returns the entry path."""
-        path = self.path_for(workload, scale_name, record_timelines, config)
-        self.root.mkdir(parents=True, exist_ok=True)
-        # Per-process temp name: concurrent invocations writing the same
-        # entry must not clobber each other's half-written temp file.
-        tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(result_to_json_dict(result)))
-        os.replace(tmp, path)
+            config: SystemConfig, result: RunResult) -> Path | None:
+        """Persist one result; returns the entry path, or None on failure.
+
+        Any ``OSError`` (ENOSPC, read-only root, permissions) degrades to
+        a single :class:`RuntimeWarning` per cache instance and a
+        :attr:`put_errors` count — the caller's result is already
+        computed and must not be lost to a storage fault.
+        """
+        key = self.entry_key(workload, scale_name, record_timelines, config)
+        path = self.root / f"{key}.json"
+        try:
+            faults.inject_cache_put_fault(key)
+            self.root.mkdir(parents=True, exist_ok=True)
+            payload = result_to_json_dict(result)
+            envelope = {
+                "v": ENVELOPE_VERSION,
+                "checksum": payload_checksum(payload),
+                "payload": payload,
+            }
+            # Per-process temp name: concurrent invocations writing the
+            # same entry must not clobber each other's half-written file.
+            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(envelope))
+            os.replace(tmp, path)
+        except OSError as error:
+            self.put_errors += 1
+            if not self._put_warned:
+                self._put_warned = True
+                warnings.warn(
+                    f"result cache write failed ({error}); continuing "
+                    f"without persistence under {self.root}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return None
+        if faults.corrupt_cache_entry_planned(key):
+            # Chaos hook: garble the stored bytes so a later get must
+            # detect, quarantine, and re-simulate. Never raises past the
+            # OSError guard above because the entry was just written.
+            try:
+                text = path.read_text()
+                path.write_text(text[: max(1, len(text) // 2)])
+            except OSError:
+                pass
         return path
 
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters for reports: hits/misses/corrupt/put_errors/entries."""
+        return {
+            "root": str(self.root),
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "put_errors": self.put_errors,
+        }
+
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (incl. quarantined); returns how many."""
         removed = 0
         if self.root.is_dir():
-            for entry in self.root.glob("*.json"):
-                entry.unlink(missing_ok=True)
-                removed += 1
+            for pattern in ("*.json", f"*{CORRUPT_SUFFIX}"):
+                for entry in self.root.glob(pattern):
+                    entry.unlink(missing_ok=True)
+                    removed += 1
         return removed

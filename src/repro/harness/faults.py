@@ -1,0 +1,294 @@
+"""Deterministic fault injection for the experiment harness.
+
+Chaos testing only earns its keep here if it composes with the repo's
+golden/bit-identical contract: a chaos run must *recover to exactly the
+same results* as a fault-free run, byte for byte. That rules out any
+injection keyed on wall-clock time, scheduling order, or shared RNG
+state. Instead every fault decision is a pure function of
+
+    (plan seed, fault kind, stable task/entry key, attempt number)
+
+hashed through SHA-256 — the same derivation the disk cache uses for
+entry keys. Two processes (or a worker and its respawned replacement,
+or a serial ``--jobs 1`` run and a parallel ``--jobs 8`` run) therefore
+agree exactly on which faults fire, without sharing any state beyond
+the plan spec itself.
+
+The plan travels as a compact ``key=value;key=value`` spec string in the
+``REPRO_FAULT_PLAN`` environment variable. Worker processes inherit the
+parent's environment, so faults fire *inside real workers* — exercising
+the supervisor's crash/hang/retry machinery end to end — without the
+simulation code knowing fault injection exists.
+
+Spec grammar (all keys optional; unknown keys are an error)::
+
+    seed=42            # integer seed folded into every draw (default 0)
+    crash=0.1          # P(worker crash) per (task, faulted attempt)
+    hang=0.05          # P(hang) — sleeps hang_seconds, for timeout kills
+    transient=0.2      # P(raise InjectedTransientError)
+    corrupt=0.1        # P(garble a disk-cache entry after a put)
+    enospc=0.05        # P(disk-cache put raises OSError(ENOSPC))
+    crash_nth=0,5      # additionally crash the tasks at these plan indices
+    hang_nth=3         # same, for hangs
+    transient_nth=1    # same, for transient exceptions
+    hang_seconds=30    # how long an injected hang sleeps (default 3600)
+    faulted_attempts=1 # attempts 0..N-1 may fault; later retries run clean
+
+``faulted_attempts`` (default 1) is what makes recovery guaranteed: a
+task selected for a fault fails on its first attempt(s) and then runs
+clean, so any retry budget >= ``faulted_attempts`` converges to the
+fault-free result. Task-level fault kinds are mutually exclusive per
+attempt with fixed precedence crash > hang > transient, so a plan's
+expected attempt transcript is computable in closed form — the chaos
+tests assert the supervisor's transcript matches it *exactly*.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field, fields, replace
+from functools import lru_cache
+
+from repro.errors import ReproError
+
+#: Environment variable carrying the active fault-plan spec string.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Exit code used by an injected worker crash (distinguishable from a
+#: genuine interpreter death in attempt transcripts).
+INJECTED_CRASH_EXIT = 73
+
+#: Task-level fault kinds, in precedence order (first match wins).
+TASK_FAULT_KINDS = ("crash", "hang", "transient")
+
+#: Cache-level fault kinds (keyed by disk-cache entry, not by attempt).
+CACHE_FAULT_KINDS = ("corrupt", "enospc")
+
+
+class FaultPlanError(ReproError):
+    """A ``REPRO_FAULT_PLAN`` spec string could not be parsed."""
+
+
+class InjectedTransientError(ReproError):
+    """A transient failure injected by the active fault plan."""
+
+
+class InjectedCrash(ReproError):
+    """In-process stand-in for a worker crash (serial execution path).
+
+    A pool worker selected for a crash fault dies with
+    ``os._exit(INJECTED_CRASH_EXIT)`` — the real thing. The serial path
+    runs tasks in the supervisor's own process, where exiting would kill
+    the harness itself, so the same plan decision surfaces as this
+    exception instead; the serial supervisor classifies it as a
+    ``crash`` outcome so both paths produce identical transcripts.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic chaos schedule (parsed spec string)."""
+
+    seed: int = 0
+    crash: float = 0.0
+    hang: float = 0.0
+    transient: float = 0.0
+    corrupt: float = 0.0
+    enospc: float = 0.0
+    crash_nth: tuple[int, ...] = field(default_factory=tuple)
+    hang_nth: tuple[int, ...] = field(default_factory=tuple)
+    transient_nth: tuple[int, ...] = field(default_factory=tuple)
+    hang_seconds: float = 3600.0
+    faulted_attempts: int = 1
+
+    # ------------------------------------------------------------------
+    # deterministic draws
+    # ------------------------------------------------------------------
+    def _uniform(self, kind: str, key: str, attempt: int) -> float:
+        """A stable uniform in [0, 1) for one (kind, key, attempt) cell."""
+        material = f"{self.seed}|{kind}|{key}|{attempt}".encode()
+        digest = hashlib.sha256(material).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def task_fault(self, key: str, index: int, attempt: int) -> str | None:
+        """Which fault (if any) fires for this task attempt.
+
+        ``key`` is the stable task key (workload + scale + config
+        digest), ``index`` the task's position in the deterministic plan
+        order (for the ``*_nth`` directives), ``attempt`` the 0-based
+        attempt number. Pure function: callers (injection sites *and*
+        tests) compute identical answers in any process.
+        """
+        if attempt >= self.faulted_attempts:
+            return None
+        for kind in TASK_FAULT_KINDS:
+            if index in getattr(self, f"{kind}_nth"):
+                return kind
+            rate = getattr(self, kind)
+            if rate > 0.0 and self._uniform(kind, key, attempt) < rate:
+                return kind
+        return None
+
+    def cache_fault(self, kind: str, entry_key: str) -> bool:
+        """Whether a storage fault fires for one disk-cache entry.
+
+        Keyed by entry, not attempt: a corrupt entry stays corrupt until
+        quarantined, which is exactly the failure mode being modelled.
+        """
+        if kind not in CACHE_FAULT_KINDS:
+            raise ValueError(f"unknown cache fault kind {kind!r}")
+        rate = getattr(self, kind)
+        return rate > 0.0 and self._uniform(kind, entry_key, 0) < rate
+
+    # ------------------------------------------------------------------
+    # spec round-trip
+    # ------------------------------------------------------------------
+    def to_spec(self) -> str:
+        """The compact spec string (inverse of :func:`parse_fault_plan`)."""
+        default = FaultPlan()
+        parts: list[str] = []
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if value == getattr(default, spec_field.name):
+                continue
+            if isinstance(value, tuple):
+                rendered = ",".join(str(v) for v in value)
+            else:
+                rendered = repr(value) if isinstance(value, float) else str(value)
+            parts.append(f"{spec_field.name}={rendered}")
+        return ";".join(parts)
+
+    def activate(self) -> None:
+        """Export this plan to ``REPRO_FAULT_PLAN`` for child processes."""
+        os.environ[FAULT_PLAN_ENV] = self.to_spec()
+
+
+_INT_KEYS = frozenset({"seed", "faulted_attempts"})
+_FLOAT_KEYS = frozenset(
+    {"crash", "hang", "transient", "corrupt", "enospc", "hang_seconds"}
+)
+_NTH_KEYS = frozenset({"crash_nth", "hang_nth", "transient_nth"})
+
+
+@lru_cache(maxsize=32)
+def parse_fault_plan(spec: str) -> FaultPlan:
+    """Parse a ``key=value;key=value`` spec string into a plan."""
+    plan = FaultPlan()
+    for raw in spec.split(";"):
+        part = raw.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if not sep or not value:
+            raise FaultPlanError(
+                f"fault-plan entry {part!r} is not of the form key=value"
+            )
+        try:
+            if key in _INT_KEYS:
+                plan = replace(plan, **{key: int(value)})
+            elif key in _FLOAT_KEYS:
+                parsed = float(value)
+                if key != "hang_seconds" and not 0.0 <= parsed <= 1.0:
+                    raise FaultPlanError(
+                        f"fault rate {key}={value} outside [0, 1]"
+                    )
+                plan = replace(plan, **{key: parsed})
+            elif key in _NTH_KEYS:
+                indices = tuple(int(v) for v in value.split(",") if v.strip())
+                plan = replace(plan, **{key: indices})
+            else:
+                raise FaultPlanError(f"unknown fault-plan key {key!r}")
+        except ValueError as error:
+            raise FaultPlanError(
+                f"bad fault-plan value {part!r}: {error}"
+            ) from None
+    if plan.faulted_attempts < 1:
+        raise FaultPlanError("faulted_attempts must be >= 1")
+    return plan
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan from ``REPRO_FAULT_PLAN``, or None when chaos is off.
+
+    Read from the environment on every call (it is only consulted at
+    task/cache-operation granularity, never inside the simulation hot
+    path), so tests can activate and clear plans without process-global
+    bookkeeping — and forked workers see exactly the parent's plan.
+    """
+    spec = os.environ.get(FAULT_PLAN_ENV, "").strip()
+    if not spec:
+        return None
+    return parse_fault_plan(spec)
+
+
+def inject_task_fault(key: str, index: int, attempt: int,
+                      in_process: bool = False) -> None:
+    """Fire the planned fault (if any) for one task attempt.
+
+    Called at the top of every supervised task attempt — inside the
+    worker process on the parallel path (``in_process=False``) and in
+    the supervisor's own process on the serial path. Crash faults kill
+    the current process with :data:`INJECTED_CRASH_EXIT` in a worker but
+    raise :class:`InjectedCrash` in-process; hang faults sleep
+    ``hang_seconds`` (the per-task timeout is expected to kill them);
+    transient faults raise :class:`InjectedTransientError`.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    kind = plan.task_fault(key, index, attempt)
+    if kind is None:
+        return
+    if kind == "crash":
+        if in_process:
+            raise InjectedCrash(
+                f"injected crash: task {key} (index {index}) attempt {attempt}"
+            )
+        os._exit(INJECTED_CRASH_EXIT)
+    elif kind == "hang":
+        # Not a busy loop: a killed sleep leaves no state behind, and a
+        # SIGALRM-based serial timeout can interrupt it cleanly.
+        time.sleep(plan.hang_seconds)
+    else:
+        raise InjectedTransientError(
+            f"injected transient fault: task {key} (index {index}) "
+            f"attempt {attempt}"
+        )
+
+
+def inject_cache_put_fault(entry_key: str) -> None:
+    """Raise an injected ENOSPC for this entry if the plan says so."""
+    plan = active_plan()
+    if plan is not None and plan.cache_fault("enospc", entry_key):
+        raise OSError(
+            errno.ENOSPC,
+            f"injected: no space left on device (entry {entry_key[:12]})",
+        )
+
+
+def corrupt_cache_entry_planned(entry_key: str) -> bool:
+    """Whether the plan garbles this entry's bytes after a put."""
+    plan = active_plan()
+    return plan is not None and plan.cache_fault("corrupt", entry_key)
+
+
+__all__ = [
+    "CACHE_FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultPlanError",
+    "INJECTED_CRASH_EXIT",
+    "InjectedCrash",
+    "InjectedTransientError",
+    "TASK_FAULT_KINDS",
+    "active_plan",
+    "corrupt_cache_entry_planned",
+    "inject_cache_put_fault",
+    "inject_task_fault",
+    "parse_fault_plan",
+]

@@ -10,19 +10,25 @@ strategy exact rather than heuristic:
    stub result. This enumerates the full simulation grid without
    maintaining a parallel copy of each driver's loop (which could drift —
    the same bug class the content-addressed config key eliminates).
-2. **Execute** — fan the captured, deduplicated grid out over a
-   :class:`concurrent.futures.ProcessPoolExecutor`; each worker builds a
-   fresh system, runs one simulation, and returns a picklable
+2. **Execute** — fan the captured, deduplicated grid out over the
+   supervised worker pool (:mod:`repro.harness.supervisor`); each worker
+   builds a fresh system, runs one simulation, and returns a picklable
    :class:`RunResult`. The parent merges results into the shared
    :class:`ExperimentContext` memo cache (and the on-disk cache, if one
-   is attached).
+   is attached). The supervisor isolates per-task failures: a crashed,
+   hung, or excepting worker marks only its own cell failed, is retried
+   with exponential backoff under a bounded attempt budget, and every
+   non-clean run ends with a structured
+   :class:`~repro.harness.supervisor.FailureReport`.
 
 Afterwards the drivers are run for real and hit a warm cache, so a
 parallel invocation produces **bit-identical** figures to a serial one:
 every simulation is single-threaded and deterministic for a given
 (workload, config, scale) triple, and nothing about pool scheduling can
 reorder events *inside* a simulation (see DESIGN.md, "Determinism
-contract").
+contract"). The serial (``jobs <= 1``) path runs the same supervision
+state machine in-process, so ``--jobs 1`` and ``--jobs N`` report
+failures identically.
 
 Worker count resolution: an explicit ``jobs`` argument wins, then the
 ``REPRO_JOBS`` environment variable, then 1 (serial). ``jobs=0`` means
@@ -32,12 +38,12 @@ Worker count resolution: an explicit ``jobs`` argument wins, then the
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.config import SystemConfig
 from repro.core.builder import run_workload_on
+from repro.errors import ExecutionError
 from repro.harness.runner import ExperimentContext
 from repro.metrics.report import RunResult
 from repro.workloads.spec import WorkloadScale
@@ -152,15 +158,30 @@ def capture_plan(ctx: ExperimentContext,
 
 
 class ParallelRunner:
-    """Fans a simulation grid out over processes into a context's cache."""
+    """Fans a simulation grid out over processes into a context's cache.
 
-    def __init__(self, ctx: ExperimentContext, jobs: int | None = None) -> None:
+    Execution is supervised (:mod:`repro.harness.supervisor`): per-task
+    failures are retried with exponential backoff under ``policy``, hung
+    workers are killed after ``policy.task_timeout``, and the attempt
+    transcripts of every non-clean task land in :attr:`report`. With
+    ``policy.keep_going`` (the default) a permanently failing task marks
+    only its own cell failed; with fail-fast the first exhausted task
+    raises :class:`~repro.errors.ExecutionError` carrying the report.
+    """
+
+    def __init__(self, ctx: ExperimentContext, jobs: int | None = None,
+                 policy: "RetryPolicy | None" = None) -> None:
+        from repro.harness.supervisor import RetryPolicy
+
         self.ctx = ctx
         self.jobs = resolve_jobs(jobs)
+        self.policy = policy if policy is not None else RetryPolicy()
         #: simulations actually executed by the last prewarm call.
         self.executed = 0
         #: tasks satisfied from the memo or disk cache instead.
         self.skipped = 0
+        #: failure report of the last prewarm call (None before any).
+        self.report: "FailureReport | None" = None
 
     # ------------------------------------------------------------------
     # planning
@@ -197,50 +218,40 @@ class ParallelRunner:
     # ------------------------------------------------------------------
     def prewarm(self, tasks: Sequence[RunTask],
                 progress: Callable[[int, int], None] | None = None) -> int:
-        """Run every uncached task and merge results into the context.
+        """Run every uncached task under supervision; merge into the context.
 
         Returns the number of simulations actually executed. ``progress``
         (if given) is called as ``progress(done, total)`` after each
-        completed simulation.
+        completed simulation. The full attempt accounting of the run is
+        left in :attr:`report`; under a fail-fast policy an exhausted
+        task raises :class:`~repro.errors.ExecutionError` instead.
         """
+        from repro.harness.supervisor import run_supervised
+
         self.executed = 0
         self.skipped = 0
-        missing = self._missing(tasks)
-        total = len(missing)
-        if not missing:
-            return 0
-        if self.jobs <= 1 or total == 1:
-            for i, task in enumerate(missing):
-                self.ctx.run(task.workload, task.config, task.record_timelines)
-                self.executed += 1
-                if progress is not None:
-                    progress(i + 1, total)
-            return self.executed
-
+        self.report = None
         ctx = self.ctx
-        workers = min(self.jobs, total)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {
-                pool.submit(_execute_task, task, ctx.scale): task
-                for task in missing
-            }
-            done_count = 0
-            while pending:
-                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
-                for future in done:
-                    task = pending.pop(future)
-                    result = future.result()
-                    ctx.seed_cache(task.workload, task.config,
-                                   task.record_timelines, result)
-                    if ctx.disk_cache is not None:
-                        ctx.disk_cache.put(
-                            task.workload, ctx.scale.name,
-                            task.record_timelines, task.config, result,
-                        )
-                    self.executed += 1
-                    done_count += 1
-                    if progress is not None:
-                        progress(done_count, total)
+        missing = self._missing(tasks)
+
+        def merge(task: RunTask, result: RunResult) -> None:
+            ctx.seed_cache(task.workload, task.config,
+                           task.record_timelines, result)
+            if ctx.disk_cache is not None:
+                ctx.disk_cache.put(
+                    task.workload, ctx.scale.name,
+                    task.record_timelines, task.config, result,
+                )
+
+        report = run_supervised(
+            missing, ctx.scale, self.jobs, self.policy, merge,
+            progress=progress,
+        )
+        report.cache = ctx.cache_stats()
+        self.report = report
+        self.executed = report.executed
+        if not report.ok() and not self.policy.keep_going:
+            raise ExecutionError(report)
         return self.executed
 
     def prewarm_experiments(

@@ -243,3 +243,15 @@ class ExperimentContext:
     def cached_runs(self) -> int:
         """Number of distinct simulations run so far."""
         return len(self._cache)
+
+    def cache_stats(self) -> dict | None:
+        """Disk-cache health counters for failure reports (None = no cache).
+
+        Exposes hits/misses plus the storage-hardening counters
+        (``corrupt`` quarantines and degraded ``put_errors``) so an
+        end-of-run :class:`~repro.harness.supervisor.FailureReport` can
+        account for injected or real storage faults.
+        """
+        if self.disk_cache is None:
+            return None
+        return self.disk_cache.stats()

@@ -194,13 +194,99 @@ def test_disk_cache_miss_on_different_config(tmp_path, ctx):
     assert cache.get("Lonestar-SP", MICRO.name, True, config) is None
 
 
-def test_disk_cache_corrupt_entry_is_a_miss(tmp_path, ctx):
+def test_disk_cache_corrupt_entry_is_quarantined(tmp_path, ctx):
+    """Regression: corrupt entries used to be silently counted as plain
+    misses and left in place, so every later run re-read and re-failed
+    the same broken file. They must be moved aside and counted."""
     cache = ResultDiskCache(tmp_path)
     config = ctx.config_single_gpu()
     path = cache.put("Lonestar-SP", MICRO.name, False, config,
                      ctx.run("Lonestar-SP", config))
     path.write_text("{not json")
     assert cache.get("Lonestar-SP", MICRO.name, False, config) is None
+    assert cache.corrupt == 1
+    assert cache.misses == 0  # quarantine is not a plain miss
+    assert not path.exists()
+    assert path.with_suffix(".corrupt").exists()
+    # The broken entry is gone: the next lookup is an ordinary miss.
+    assert cache.get("Lonestar-SP", MICRO.name, False, config) is None
+    assert cache.corrupt == 1
+    assert cache.misses == 1
+
+
+def test_disk_cache_checksum_mismatch_is_quarantined(tmp_path, ctx):
+    import json
+
+    cache = ResultDiskCache(tmp_path)
+    config = ctx.config_single_gpu()
+    path = cache.put("Lonestar-SP", MICRO.name, False, config,
+                     ctx.run("Lonestar-SP", config))
+    # Valid JSON, valid envelope shape — but the payload was tampered
+    # with after the checksum was computed (silent bit-rot model).
+    envelope = json.loads(path.read_text())
+    envelope["payload"]["cycles"] = envelope["payload"]["cycles"] + 1
+    path.write_text(json.dumps(envelope))
+    assert cache.get("Lonestar-SP", MICRO.name, False, config) is None
+    assert cache.corrupt == 1
+    assert path.with_suffix(".corrupt").exists()
+
+
+def test_disk_cache_pre_envelope_entry_is_quarantined(tmp_path, ctx):
+    import json
+
+    cache = ResultDiskCache(tmp_path)
+    config = ctx.config_single_gpu()
+    result = ctx.run("Lonestar-SP", config)
+    path = cache.put("Lonestar-SP", MICRO.name, False, config, result)
+    # A bare payload with no checksum envelope (the pre-hardening disk
+    # format) must not be trusted.
+    path.write_text(json.dumps(result_to_json_dict(result)))
+    assert cache.get("Lonestar-SP", MICRO.name, False, config) is None
+    assert cache.corrupt == 1
+
+
+def test_disk_cache_put_degrades_when_root_unwritable(tmp_path, ctx):
+    # The cache root path is an existing *file*, so mkdir fails with an
+    # OSError regardless of privileges (chmod tricks don't bind as root).
+    blocker = tmp_path / "blocker"
+    blocker.write_text("in the way")
+    cache = ResultDiskCache(blocker)
+    config = ctx.config_single_gpu()
+    result = ctx.run("Lonestar-SP", config)
+    with pytest.warns(RuntimeWarning, match="result cache write failed"):
+        assert cache.put("Lonestar-SP", MICRO.name, False, config,
+                         result) is None
+    assert cache.put_errors == 1
+    # Degraded, not dead: the warning fires once, the counter keeps going.
+    import warnings as warnings_module
+
+    with warnings_module.catch_warnings(record=True) as caught:
+        warnings_module.simplefilter("always")
+        assert cache.put("Lonestar-SP", MICRO.name, False, config,
+                         result) is None
+    assert caught == []
+    assert cache.put_errors == 2
+    # Reads against the unwritable root are plain misses, not crashes.
+    assert cache.get("Lonestar-SP", MICRO.name, False, config) is None
+    assert cache.misses == 1
+
+
+def test_disk_cache_put_degrades_on_enospc(tmp_path, ctx, monkeypatch):
+    import errno
+
+    cache = ResultDiskCache(tmp_path)
+    config = ctx.config_single_gpu()
+    result = ctx.run("Lonestar-SP", config)
+
+    def replace_enospc(src, dst):
+        raise OSError(errno.ENOSPC, "no space left on device")
+
+    monkeypatch.setattr("repro.harness.diskcache.os.replace", replace_enospc)
+    with pytest.warns(RuntimeWarning, match="No space left|no space left"):
+        assert cache.put("Lonestar-SP", MICRO.name, False, config,
+                         result) is None
+    assert cache.put_errors == 1
+    assert len(cache) == 0
 
 
 def test_disk_cache_keyed_by_package_version(tmp_path, ctx, monkeypatch):
