@@ -1,8 +1,11 @@
 #!/usr/bin/env python
-"""Chaos smoke: the figure suite survives injected faults bit-identically.
+"""Chaos smoke: the figure suite survives faults and kills bit-identically.
 
 The CI companion of the fault-tolerant execution layer (DESIGN.md,
-"Failure-handling contract"). Three passes over the same figure grid:
+"Failure-handling contract" and "Snapshot & resume contract"). Two legs
+over the same figure grid, both opening with a clean serial reference:
+
+``--leg faults`` (the default):
 
 1. **Clean reference** — the suite serially, chaos off, no cache.
 2. **Chaos pass** — the suite with ``--jobs N --keep-going`` under a
@@ -17,9 +20,21 @@ The CI companion of the fault-tolerant execution layer (DESIGN.md,
    quarantined, re-simulated, and the figures still match the
    reference exactly.
 
+``--leg kill-resume``:
+
+1. **Clean reference** — as above.
+2. **Kill pass** — the suite with ``--checkpoint-dir`` in a subprocess,
+   SIGKILLed (the whole process group, mid-write and all) once the
+   study journal records enough finished cells.
+3. **Resume pass** — ``--resume`` over the same checkpoint directory
+   with the disk cache still off, so finished cells can only come from
+   the journal. Must exit 0 and produce figures **byte-identical** to
+   the uninterrupted reference.
+
 Usage::
 
     PYTHONPATH=src python scripts/chaos_smoke.py              # CI defaults
+    PYTHONPATH=src python scripts/chaos_smoke.py --leg kill-resume
     PYTHONPATH=src python scripts/chaos_smoke.py --jobs 2 --workdir /tmp/chaos
 """
 
@@ -28,6 +43,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -58,6 +75,81 @@ def run_suite(argv: list[str]) -> None:
     assert code == 0, f"run_experiments {argv} exited {code}"
 
 
+def journal_done_count(journal: Path) -> int:
+    """Count ``done`` cells in a study journal, tolerating torn tails."""
+    try:
+        lines = journal.read_text().splitlines()
+    except OSError:
+        return 0
+    done = 0
+    for line in lines:
+        try:
+            if json.loads(line)["payload"]["kind"] == "done":
+                done += 1
+        except (ValueError, KeyError, TypeError):
+            continue
+    return done
+
+
+def leg_kill_resume(args, work: Path, common: list[str],
+                    reference: dict, t0: float) -> int:
+    """SIGKILL a checkpointed suite mid-run; --resume must reproduce it."""
+    ckpt = work / "ckpt"
+    killed = work / "killed.json"
+    script = Path(__file__).resolve().parent / "run_experiments.py"
+    env = dict(os.environ)
+    env.pop(FAULT_PLAN_ENV, None)
+    proc = subprocess.Popen(
+        [sys.executable, str(script), "--output", str(killed), *common,
+         "--jobs", str(args.jobs), "--no-cache",
+         "--checkpoint-dir", str(ckpt)],
+        env=env, start_new_session=True,
+    )
+    journal = ckpt / "journal.jsonl"
+    target = args.kill_after
+    deadline = time.time() + 600
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"suite finished (exit {proc.returncode}) before "
+                f"{target} cells were journaled; grid too small for the "
+                "kill to land"
+            )
+        if journal_done_count(journal) >= target:
+            break
+        time.sleep(0.2)
+    else:
+        raise AssertionError(
+            f"timed out waiting for {target} journaled cells"
+        )
+    # Kill the whole process group without warning — workers, supervisor,
+    # and any append in flight.
+    os.killpg(proc.pid, signal.SIGKILL)
+    proc.wait()
+    pre_kill = journal_done_count(journal)
+    assert pre_kill >= target, (pre_kill, target)
+    print(f"[chaos-smoke] SIGKILLed the suite with {pre_kill} cells "
+          f"journaled {time.time() - t0:.0f}s", flush=True)
+
+    # Resume with the cache still off: finished cells can only come
+    # from the journal.
+    resumed = work / "resumed.json"
+    run_suite([
+        "--output", str(resumed), *common, "--jobs", str(args.jobs),
+        "--no-cache", "--checkpoint-dir", str(ckpt), "--resume",
+    ])
+    assert load_figures(resumed) == reference, (
+        "resumed figures diverge from the uninterrupted reference"
+    )
+    assert journal_done_count(journal) > pre_kill, (
+        "resume re-ran nothing; the kill landed after the grid finished"
+    )
+    print(f"[chaos-smoke] OK: resume after SIGKILL reproduced the "
+          f"reference byte-for-byte ({pre_kill} cells reused, "
+          f"{time.time() - t0:.0f}s)", flush=True)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="tiny")
@@ -65,6 +157,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=4)
     parser.add_argument("--workdir", default="chaos-smoke",
                         help="scratch directory for outputs + cache")
+    parser.add_argument("--leg", choices=("faults", "kill-resume"),
+                        default="faults",
+                        help="faults: injected crash/corruption chaos; "
+                        "kill-resume: SIGKILL mid-suite, then --resume")
+    parser.add_argument("--kill-after", type=int, default=5, metavar="N",
+                        help="kill-resume leg: SIGKILL once N cells are "
+                        "journaled done")
     args = parser.parse_args(argv)
 
     work = Path(args.workdir)
@@ -80,6 +179,9 @@ def main(argv: list[str] | None = None) -> int:
     reference = load_figures(clean)
     print(f"[chaos-smoke] clean reference done {time.time() - t0:.0f}s",
           flush=True)
+
+    if args.leg == "kill-resume":
+        return leg_kill_resume(args, work, common, reference, t0)
 
     # -- pass 2: chaos run, fresh cache --------------------------------
     os.environ[FAULT_PLAN_ENV] = PLAN

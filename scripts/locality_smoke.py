@@ -46,6 +46,58 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 #: The headline policy pairing the acceptance gate is about.
 SMOKE_POLICIES = (("distance_weighted_first_touch", "distance_affine"),)
 
+#: Migration-heavy cross-section for the ACM read-shared before/after.
+ACM_WORKLOADS = (
+    "Rodinia-BFS", "HPC-AMG", "Lonestar-SSSP", "Rodinia-Euler3D",
+)
+
+
+def acm_filter_effect(ctx: "ExperimentContext", kind: str,
+                      n_sockets: int) -> dict:
+    """Record ``access_counter_migration`` with/without the read-shared
+    filter (PR 8's ping-pong fix) on one sweep cell.
+
+    The filter pins pages that two or more remote sockets read but none
+    writes — migrating those only bounces them between sharers. On the
+    suite traces every threshold-crossing page is eventually written
+    remotely, so the filter delays rather than cancels migrations: the
+    record asserts it never *adds* re-homings and keeps cycles within a
+    tight band of the unfiltered policy, and the per-workload numbers
+    land in the BENCH series as the before/after evidence.
+    """
+    out = {}
+    for workload in ACM_WORKLOADS:
+        cell = {}
+        for label, params in (
+            ("on", {}), ("off", {"read_shared_filter": False})
+        ):
+            config = ctx.config_locality_policy(
+                "access_counter_migration", "contiguous",
+                kind=kind, n_sockets=n_sockets, **params,
+            )
+            result = ctx.run(workload, config)
+            cell[label] = {
+                "cycles": result.cycles,
+                "re_homed_pages": result.re_homed_pages,
+            }
+        on, off = cell["on"], cell["off"]
+        assert on["re_homed_pages"] <= off["re_homed_pages"], (
+            f"{workload}: the read-shared filter added re-homings "
+            f"({on['re_homed_pages']} vs {off['re_homed_pages']})"
+        )
+        ratio = off["cycles"] / on["cycles"] if on["cycles"] else 0.0
+        assert 0.95 <= ratio <= 1.05, (
+            f"{workload}: read-shared filter moved cycles by more than "
+            f"5% (off/on = {ratio:.4f}); the filter must be a targeted "
+            "suppression, not a behaviour rewrite"
+        )
+        out[workload] = {
+            "filter_on": on,
+            "filter_off": off,
+            "cycles_off_over_on": round(ratio, 4),
+        }
+    return out
+
 
 def run_smoke(scale: str, jobs: int, kinds: tuple[str, ...],
               sockets: tuple[int, ...]) -> dict:
@@ -111,6 +163,7 @@ def run_smoke(scale: str, jobs: int, kinds: tuple[str, ...],
             ),
             "re_homed_pages": cell.re_homed_pages,
         }
+    acm = acm_filter_effect(ctx, kinds[0], sockets[0])
     return {
         "scale": scale,
         "jobs": jobs,
@@ -119,6 +172,7 @@ def run_smoke(scale: str, jobs: int, kinds: tuple[str, ...],
         "workloads": len(COMPACT_SET),
         "simulations": ctx.cached_runs,
         "cells": cells,
+        "acm_read_shared_filter": acm,
         "events": events,
         "wall_seconds": round(wall, 3),
         "events_per_second": round(events / wall, 1) if events and wall else 0.0,
@@ -142,6 +196,7 @@ def append_history(record: dict, label: str) -> None:
             "events": record["events"],
             "events_per_second": record["events_per_second"],
             "locality_cells": record["cells"],
+            "acm_read_shared_filter": record["acm_read_shared_filter"],
             "recorded_at": time.strftime("%Y-%m-%d"),
         }
     )

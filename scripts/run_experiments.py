@@ -33,16 +33,27 @@ default) a permanently failing cell aborts nothing else — the run ends
 with a rendered FailureReport, a JSON copy next to the output file (or
 at ``--failure-report``), and exit code 1. ``--fail-fast`` aborts on the
 first exhausted cell instead.
+
+With ``--checkpoint-dir DIR`` the run additionally keeps a crash-safe
+study journal under DIR (manifest + append-only, per-cell completion
+log; see ``repro.harness.checkpoint``). A run killed mid-suite — or
+stopped with Ctrl-C/SIGTERM, which kills workers, flushes the journal,
+and prints the resume command — picks up with ``--resume``: journaled
+cells seed the context directly, in-flight cells re-run, and the
+resumed figures are byte-identical to an uninterrupted run's.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import shlex
+import sys
 import time
 
-from repro.errors import ExecutionError
+from repro.errors import CheckpointError, ExecutionError
 from repro.harness import experiments as E
+from repro.harness.checkpoint import StudyJournal
 from repro.harness.parallel import ParallelRunner, make_context, resolve_jobs
 from repro.harness.supervisor import RetryPolicy
 from repro.workloads.spec import SCALES
@@ -156,7 +167,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the JSON failure report on a non-clean run "
         "(default: <output>.failures.json)",
     )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="keep a crash-safe study journal under DIR: every finished "
+        "cell is logged with its result so a killed run can --resume "
+        "without re-simulating",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the study journaled under --checkpoint-dir: "
+        "journaled-done cells are skipped, in-flight ones re-run; "
+        "figures are byte-identical to an uninterrupted run",
+    )
     return parser
+
+
+def resume_command(argv: list[str] | None) -> str:
+    """The exact invocation that resumes this run from its journal."""
+    words = list(sys.argv[1:] if argv is None else argv)
+    if "--resume" not in words:
+        words.append("--resume")
+    return "python scripts/run_experiments.py " + " ".join(
+        shlex.quote(word) for word in words
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -164,6 +197,9 @@ def main(argv: list[str] | None = None) -> int:
     scale = args.scale_opt or args.scale
     output = args.output_opt or args.output
     jobs = resolve_jobs(args.jobs)
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     t0 = time.time()
     ctx = make_context(
         SCALES[scale],
@@ -213,6 +249,26 @@ def main(argv: list[str] | None = None) -> int:
         ),
     }
 
+    # Level-2 checkpointing: the journal logs every grid cell's start
+    # and completion (with its result) so a killed run can --resume.
+    journal = None
+    if args.checkpoint_dir is not None:
+        study = f"experiments:{args.workloads}:{out['workload_count']}"
+        try:
+            journal = (
+                StudyJournal.resume(args.checkpoint_dir, scale, study)
+                if args.resume
+                else StudyJournal.start(args.checkpoint_dir, scale, study)
+            )
+        except CheckpointError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.resume:
+            stats = journal.stats()
+            print(f"resuming: {stats['done']} cells journaled done, "
+                  f"{stats['corrupt_lines']} corrupt journal lines dropped",
+                  flush=True)
+
     # The whole grid is prewarmed under supervision even when serial, so
     # --jobs 1 and --jobs N report failures identically and the figure
     # pass below only ever reads a warm cache.
@@ -225,6 +281,7 @@ def main(argv: list[str] | None = None) -> int:
             task_timeout=args.task_timeout,
             keep_going=args.keep_going,
         ),
+        journal=journal,
     )
     try:
         executed = runner.prewarm_experiments(
@@ -240,6 +297,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"prewarmed {executed} simulations "
               f"({runner.skipped} cached) on {jobs} workers",
               round(time.time() - t0), flush=True)
+    finally:
+        if journal is not None:
+            journal.close()
     if report is not None and report.tasks:
         # Surface the attempt transcript even when every task recovered:
         # a chaos run that converged still documents what it survived.
@@ -251,6 +311,10 @@ def main(argv: list[str] | None = None) -> int:
         report_path = args.failure_report or f"{output}.failures.json"
         report.write_json(report_path)
         print(f"failure report -> {report_path}", flush=True)
+        if report.interrupted:
+            print(report.headline(), flush=True)
+        if journal is not None:
+            print(f"resume with: {resume_command(argv)}", flush=True)
         return 1
     if args.failure_report and report is not None:
         report.write_json(args.failure_report)

@@ -13,7 +13,9 @@ CI run. Rules (see DESIGN.md "Static contracts" for the catalogue):
 * ``export-roundtrip`` — ``RunResult`` fields survive the JSON
   round-trip in ``metrics/export.py`` (or are explicitly omitted);
 * ``registry-hygiene`` — registered policies have docstrings and a test
-  referencing their kind string.
+  referencing their kind string;
+* ``snapshot-complete`` — every mutable attribute of a class defining
+  ``snapshot_state`` is captured, restored, or ``_SNAPSHOT_EXEMPT``.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ from repro.analysis.checkers.export_roundtrip import ExportRoundTripChecker
 from repro.analysis.checkers.fingerprint import FingerprintChecker
 from repro.analysis.checkers.hotpath import HotPathChecker
 from repro.analysis.checkers.registry_hygiene import RegistryHygieneChecker
+from repro.analysis.checkers.snapshot import SnapshotCompleteChecker
 from repro.analysis.core import LintChecker
 
 
@@ -38,6 +41,7 @@ def default_checkers(rules: tuple[str, ...] | None = None) -> list[LintChecker]:
         HotPathChecker(),
         ExportRoundTripChecker(),
         RegistryHygieneChecker(),
+        SnapshotCompleteChecker(),
     ]
     if rules is None:
         return checkers
@@ -60,6 +64,7 @@ __all__ = [
     "FingerprintChecker",
     "HotPathChecker",
     "RegistryHygieneChecker",
+    "SnapshotCompleteChecker",
     "all_rules",
     "default_checkers",
 ]

@@ -1,0 +1,191 @@
+"""Rule ``snapshot-complete``: snapshots must cover every mutable field.
+
+The checkpoint layer (DESIGN.md, "Snapshot & resume contract") only
+works if ``snapshot_state()`` captures *every* mutable attribute of a
+participating class: a field it forgets is silently reconstructed at
+its freshly-built default, and a restored run diverges from the cold
+run in exactly that counter or cache — the hardest kind of drift to
+notice, because everything still *runs*. This checker mirrors
+``fingerprint-complete``: it makes the omission un-shippable instead of
+relying on review.
+
+For every class that defines ``snapshot_state`` the checker collects:
+
+* **mutable attributes** — the union of the class's ``__slots__``
+  entries and every ``self.X`` assignment target in its own
+  ``__init__``;
+* **covered attributes** — every attribute name and string constant
+  appearing in the bodies of ``snapshot_state`` and ``restore_state``;
+  when either body references the class's ``_STAT_FIELDS`` table
+  (the slotted-counter serialization idiom ``[[key, getattr(self,
+  attr)] for attr, key in self._STAT_FIELDS]``), every name in that
+  class-body table counts as covered;
+* **exempt attributes** — string constants listed in the class-body
+  ``_SNAPSHOT_EXEMPT`` tuple, the explicit "mutable but deliberately
+  not captured (or rebuilt by construction)" declaration.
+
+Every mutable attribute that is neither covered nor exempt is a
+finding, as is a ``snapshot_state`` with no ``restore_state`` beside
+it. Classes that inherit ``snapshot_state`` are not re-audited (the
+base class's contract is); subclasses adding construction-time slots
+(e.g. the fabric's ``EdgeLink``) therefore stay clean by design.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, Finding, LintChecker, Project
+
+#: Class-body attribute naming deliberately-uncaptured mutable fields.
+EXEMPT_ATTR = "_SNAPSHOT_EXEMPT"
+
+#: Class-body table of the slotted-counter idiom (attr, key) pairs.
+STAT_TABLE_ATTR = "_STAT_FIELDS"
+
+
+def _class_assignment(cls: ast.ClassDef, name: str) -> ast.AST | None:
+    """The value assigned to ``name`` in the class body, if any."""
+    for stmt in cls.body:
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign)
+            else [stmt.target] if isinstance(stmt, ast.AnnAssign)
+            else []
+        )
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                return stmt.value
+    return None
+
+
+def _string_constants(node: ast.AST | None) -> set[str]:
+    """Every string constant anywhere under ``node``."""
+    if node is None:
+        return set()
+    return {
+        sub.value
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+    }
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _self_assigned_attrs(init: ast.FunctionDef | None) -> set[str]:
+    """Attribute names assigned on ``self`` anywhere in ``__init__``."""
+    if init is None:
+        return set()
+    out: set[str] = set()
+    for node in ast.walk(init):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            for leaf in ast.walk(target):
+                if (
+                    isinstance(leaf, ast.Attribute)
+                    and isinstance(leaf.value, ast.Name)
+                    and leaf.value.id == "self"
+                ):
+                    out.add(leaf.attr)
+    return out
+
+
+class SnapshotCompleteChecker(LintChecker):
+    """Verify snapshot/restore cover every mutable attribute."""
+
+    rule = "snapshot-complete"
+    description = (
+        "every mutable attribute of a class defining snapshot_state is "
+        "captured, restored, or listed in _SNAPSHOT_EXEMPT (restored "
+        "runs silently diverge in forgotten fields)"
+    )
+
+    def finalize(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for ctx in project.files.values():
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    findings.extend(self._check_class(node, ctx))
+        return findings
+
+    # ------------------------------------------------------------------
+    # per-class audit
+    # ------------------------------------------------------------------
+    def _check_class(self, cls: ast.ClassDef,
+                     ctx: FileContext) -> list[Finding]:
+        snapshot = _method(cls, "snapshot_state")
+        if snapshot is None:
+            return []
+        restore = _method(cls, "restore_state")
+        symbol = f"{cls.name}.snapshot_state"
+        findings: list[Finding] = []
+        if restore is None:
+            findings.append(Finding(
+                rule=self.rule,
+                path=ctx.relpath,
+                line=snapshot.lineno,
+                message=(
+                    f"{cls.name} defines snapshot_state but no "
+                    "restore_state — a snapshot nobody can apply"
+                ),
+                symbol=symbol,
+            ))
+        mutable = _string_constants(_class_assignment(cls, "__slots__"))
+        mutable |= _self_assigned_attrs(_method(cls, "__init__"))
+        covered = self._covered(cls, snapshot, restore)
+        exempt = _string_constants(_class_assignment(cls, EXEMPT_ATTR))
+        for attr in sorted(mutable - covered - exempt):
+            findings.append(Finding(
+                rule=self.rule,
+                path=ctx.relpath,
+                line=snapshot.lineno,
+                message=(
+                    f"{cls.name}.{attr} is neither captured by "
+                    "snapshot_state/restore_state nor listed in "
+                    f"{EXEMPT_ATTR} — a restored run silently keeps "
+                    "the freshly-built value of that field"
+                ),
+                symbol=symbol,
+            ))
+        return self._suppressed(findings, ctx)
+
+    def _covered(self, cls: ast.ClassDef, snapshot: ast.FunctionDef,
+                 restore: ast.FunctionDef | None) -> set[str]:
+        bodies = [snapshot] + ([restore] if restore is not None else [])
+        covered: set[str] = set()
+        uses_stat_table = False
+        for fn in bodies:
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Attribute):
+                    covered.add(node.attr)
+                    if node.attr == STAT_TABLE_ATTR:
+                        uses_stat_table = True
+                elif isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    # getattr(self, "x") / setattr string forms.
+                    covered.add(node.value)
+        if uses_stat_table:
+            covered |= _string_constants(
+                _class_assignment(cls, STAT_TABLE_ATTR)
+            )
+        return covered
+
+    def _suppressed(self, findings: list[Finding],
+                    ctx: FileContext) -> list[Finding]:
+        """Apply the class's file per-line suppressions."""
+        out = []
+        for finding in findings:
+            allowed = ctx.suppressions.get(finding.line, frozenset())
+            if self.rule in allowed or "all" in allowed:
+                continue
+            out.append(finding)
+        return out

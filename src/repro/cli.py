@@ -171,6 +171,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--failure-report", default=None, metavar="PATH",
         help="write the JSON failure report here on any non-clean run",
     )
+    exp.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="keep a crash-safe study journal under DIR (every finished "
+        "cell is logged with its result); a killed or interrupted run "
+        "can then --resume without re-simulating finished cells",
+    )
+    exp.add_argument(
+        "--resume", action="store_true",
+        help="resume the study journaled under --checkpoint-dir; "
+        "results are byte-identical to an uninterrupted run",
+    )
 
     trace = sub.add_parser("trace", help="record a replayable trace")
     trace.add_argument("workload")
@@ -332,13 +343,29 @@ def cmd_topology_describe(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.errors import ExecutionError
+    from repro.errors import CheckpointError, ExecutionError
+    from repro.harness.checkpoint import StudyJournal
     from repro.harness.parallel import ParallelRunner, make_context, resolve_jobs
     from repro.harness.supervisor import RetryPolicy
 
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     ctx = make_context(SCALES[args.scale], cache_dir=args.cache_dir)
     jobs = resolve_jobs(args.jobs)
     driver = EXPERIMENTS[args.name]
+    journal = None
+    if args.checkpoint_dir is not None:
+        study = f"experiment:{args.name}"
+        try:
+            journal = (
+                StudyJournal.resume(args.checkpoint_dir, args.scale, study)
+                if args.resume
+                else StudyJournal.start(args.checkpoint_dir, args.scale, study)
+            )
+        except CheckpointError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     # The grid is prewarmed under supervision even serially, so --jobs 1
     # and --jobs N retry and report failures identically.
     runner = ParallelRunner(
@@ -350,6 +377,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             task_timeout=args.task_timeout,
             keep_going=args.keep_going,
         ),
+        journal=journal,
     )
     try:
         runner.prewarm_experiments([driver])
@@ -357,11 +385,23 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         report = error.report
     else:
         report = runner.report
+    finally:
+        if journal is not None:
+            journal.close()
     if report is not None and report.tasks:
         print(report.render(), file=sys.stderr)
     if args.failure_report and report is not None:
         report.write_json(args.failure_report)
     if report is not None and not report.ok():
+        if report.interrupted:
+            print(report.headline(), file=sys.stderr)
+        if journal is not None:
+            print(
+                f"resume with: repro experiment {args.name} "
+                f"--scale {args.scale} "
+                f"--checkpoint-dir {args.checkpoint_dir} --resume",
+                file=sys.stderr,
+            )
         return 1
     result = driver(ctx)
     print(result.render())

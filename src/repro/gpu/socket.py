@@ -39,6 +39,7 @@ from heapq import heappush
 from typing import Callable
 
 from repro.config import CacheArch, SystemConfig, WritePolicy
+from repro.errors import SnapshotError
 from repro.gpu.cta import CtaExecution, MemOp as _SingleOp, Slice
 from repro.gpu.sm import Sm
 from repro.interconnect.packets import DATA_BYTES
@@ -393,7 +394,7 @@ class GpuSocket:
                     is_local = home == socket_id
                     migration_extra = 0
                 else:
-                    home, migration_extra = translate(addr, socket_id)
+                    home, migration_extra = translate(addr, socket_id, op.is_write)
                     is_local = home == socket_id
                     if fill_xlate and (
                         migration_extra == 0
@@ -627,3 +628,95 @@ class GpuSocket:
         remote = self.n_remote_accesses
         total = remote + self.n_local_accesses
         return remote / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (DESIGN.md, "Snapshot & resume contract")
+    # ------------------------------------------------------------------
+    # Wiring, hoisted invariants, pooled walkers, and the sub-kernel
+    # dispatch fields are exempt: walkers and MSHRs must be *empty* at a
+    # quiescent boundary (asserted below), and dispatch state is reset by
+    # the next ``start_subkernel``. ``_pending_pop`` is a bound method of
+    # the (asserted-empty) MSHR dict.
+    _SNAPSHOT_EXEMPT = (
+        "socket_id",
+        "config",
+        "engine",
+        "page_table",
+        "switch",
+        "line_size",
+        "arch",
+        "write_policy",
+        "_l1s",
+        "noc_latency",
+        "_noc_data_duration",
+        "_l2_hit_latency",
+        "_l2_holds_remote",
+        "_l2_write_through",
+        "_caches_remote_writes",
+        "_always_local",
+        "_fill_xlate",
+        "_l1_refills",
+        "_read_pool",
+        "_write_pool",
+        "_stats",
+        "_pending_reads",
+        "_pending_pop",
+        "_cta_queue",
+        "_active_ctas",
+        "_subkernel_done_cb",
+        "_subkernel_notified",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Caches, bandwidth servers, translation cache, and counters.
+
+        Raises :class:`~repro.errors.SnapshotError` unless the socket is
+        quiescent: no in-flight reads in the MSHR table, no queued or
+        resident CTAs, and the current sub-kernel fully notified.
+        """
+        if (
+            self._pending_reads
+            or self._cta_queue
+            or self._active_ctas
+            or not self._subkernel_notified
+        ):
+            raise SnapshotError(
+                f"socket {self.socket_id} is not quiescent: "
+                f"{len(self._pending_reads)} pending read(s), "
+                f"{self._active_ctas} active CTA(s), "
+                f"{len(self._cta_queue)} queued CTA(s), "
+                f"notified={self._subkernel_notified}"
+            )
+        return {
+            "sms": [sm.snapshot_state() for sm in self.sms],
+            "l2": self.l2.snapshot_state(),
+            "dram": self.dram.snapshot_state(),
+            "noc": self.noc.snapshot_state(),
+            "coherence": self.coherence.snapshot_state(),
+            "xlate": [[line, home] for line, home in self._xlate.items()],
+            "counters": [
+                [key, getattr(self, attr)]
+                for attr, key in self._STAT_FIELDS
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`, onto a fresh socket.
+
+        The translation cache is refilled *in place*: the page table
+        holds a reference to this socket's dict (registered at
+        construction) for re-homing invalidations, so the object identity
+        must survive restore.
+        """
+        for sm, sm_state in zip(self.sms, state["sms"]):
+            sm.restore_state(sm_state)
+        self.l2.restore_state(state["l2"])
+        self.dram.restore_state(state["dram"])
+        self.noc.restore_state(state["noc"])
+        self.coherence.restore_state(state["coherence"])
+        self._xlate.clear()
+        for line, home in state["xlate"]:
+            self._xlate[int(line)] = int(home)
+        counters = dict((key, value) for key, value in state["counters"])
+        for attr, key in self._STAT_FIELDS:
+            setattr(self, attr, int(counters.get(key, 0)))

@@ -170,12 +170,16 @@ class ParallelRunner:
     """
 
     def __init__(self, ctx: ExperimentContext, jobs: int | None = None,
-                 policy: "RetryPolicy | None" = None) -> None:
+                 policy: "RetryPolicy | None" = None,
+                 journal: "StudyJournal | None" = None) -> None:
         from repro.harness.supervisor import RetryPolicy
 
         self.ctx = ctx
         self.jobs = resolve_jobs(jobs)
         self.policy = policy if policy is not None else RetryPolicy()
+        #: optional study journal (crash-resumable suites; see
+        #: :mod:`repro.harness.checkpoint`).
+        self.journal = journal
         #: simulations actually executed by the last prewarm call.
         self.executed = 0
         #: tasks satisfied from the memo or disk cache instead.
@@ -186,8 +190,19 @@ class ParallelRunner:
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
+    def _journal_key(self, task: RunTask) -> str:
+        from repro.harness.checkpoint import cell_key
+
+        return cell_key(task.workload, self.ctx.scale.name,
+                        task.record_timelines, task.config)
+
     def _missing(self, tasks: Sequence[RunTask]) -> list[RunTask]:
-        """Deduplicate and drop tasks the caches already cover."""
+        """Deduplicate and drop tasks the caches or journal already cover.
+
+        Missing tasks are logged to the study journal (when one is
+        attached) as ``start`` lines before execution, so a killed run
+        knows on resume which cells were in flight and must re-run.
+        """
         ctx = self.ctx
         missing: list[RunTask] = []
         seen: set[tuple] = set()
@@ -200,6 +215,13 @@ class ParallelRunner:
             if ctx.is_cached(key):
                 self.skipped += 1
                 continue
+            if self.journal is not None:
+                stored = self.journal.done_result(self._journal_key(task))
+                if stored is not None:
+                    ctx.seed_cache(task.workload, task.config,
+                                   task.record_timelines, stored)
+                    self.skipped += 1
+                    continue
             if ctx.disk_cache is not None:
                 stored = ctx.disk_cache.get(
                     task.workload, ctx.scale.name,
@@ -210,6 +232,8 @@ class ParallelRunner:
                                    task.record_timelines, stored)
                     self.skipped += 1
                     continue
+            if self.journal is not None:
+                self.journal.record_start(self._journal_key(task))
             missing.append(task)
         return missing
 
@@ -237,6 +261,8 @@ class ParallelRunner:
         def merge(task: RunTask, result: RunResult) -> None:
             ctx.seed_cache(task.workload, task.config,
                            task.record_timelines, result)
+            if self.journal is not None:
+                self.journal.record_done(self._journal_key(task), result)
             if ctx.disk_cache is not None:
                 ctx.disk_cache.put(
                     task.workload, ctx.scale.name,

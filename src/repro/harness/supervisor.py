@@ -36,6 +36,12 @@ wall-clock deadline, killed, and respawned the same way. The serial
 worker crashes surface as :class:`~repro.harness.faults.InjectedCrash`
 and timeouts via ``SIGALRM`` — so ``--jobs 1`` and ``--jobs N`` produce
 identical failure reports for the same fault plan.
+
+SIGINT/SIGTERM stop a run gracefully in either mode: the first signal
+kills in-flight workers and finalizes the report with
+``interrupted=True`` and the in-flight tasks listed as unfinished, so
+the caller can print per-task states and the exact ``--resume``
+command. A second signal aborts immediately (:class:`KeyboardInterrupt`).
 """
 
 from __future__ import annotations
@@ -147,6 +153,9 @@ class FailureReport:
     total: int
     executed: int = 0
     aborted: bool = False
+    #: True when SIGINT/SIGTERM stopped the run early (workers killed,
+    #: in-flight tasks listed in :attr:`unfinished`, journal flushed).
+    interrupted: bool = False
     tasks: list[TaskReport] = field(default_factory=list)
     #: task keys never completed (fail-fast abort leftovers).
     unfinished: list[str] = field(default_factory=list)
@@ -162,9 +171,19 @@ class FailureReport:
         return [t for t in self.tasks if t.status == "recovered"]
 
     def ok(self) -> bool:
-        return not self.failed and not self.aborted
+        return not self.failed and not self.aborted and not self.interrupted
 
     def headline(self) -> str:
+        if self.interrupted:
+            parts = [
+                f"supervised run INTERRUPTED: {self.executed}/{self.total} "
+                f"tasks finished, {len(self.unfinished)} unfinished"
+            ]
+            if self.failed:
+                parts.append(
+                    f"{len(self.failed)} tasks exhausted their retry budget"
+                )
+            return "; ".join(parts)
         if self.ok():
             if not self.tasks:
                 return (
@@ -229,6 +248,7 @@ class FailureReport:
             "total": self.total,
             "executed": self.executed,
             "aborted": self.aborted,
+            "interrupted": self.interrupted,
             "ok": self.ok(),
             "tasks": [asdict(task) for task in self.tasks],
             "unfinished": list(self.unfinished),
@@ -359,6 +379,51 @@ def _finalize_report(report: FailureReport, states: Sequence[_TaskState],
 
 
 # ---------------------------------------------------------------------------
+# graceful interruption
+# ---------------------------------------------------------------------------
+class _InterruptFlag:
+    """Latched by the SIGINT/SIGTERM handler; polled by the run loops."""
+
+    __slots__ = ("signum",)
+
+    def __init__(self) -> None:
+        self.signum: int | None = None
+
+    def __bool__(self) -> bool:
+        return self.signum is not None
+
+
+@contextmanager
+def _interrupt_guard():
+    """Turn SIGINT/SIGTERM into a graceful-stop request (main thread only).
+
+    The first signal latches the flag: the run loops stop dispatching,
+    kill in-flight workers, and fall through to normal report
+    finalization (so the journal is flushed and every task state is
+    accounted for). A second signal raises :class:`KeyboardInterrupt`
+    for users who want out *now*; the ``finally`` blocks still destroy
+    the worker pool on the way up.
+    """
+    flag = _InterruptFlag()
+    if threading.current_thread() is not threading.main_thread():
+        yield flag
+        return
+
+    def _on_signal(signum, frame):
+        if flag.signum is not None:
+            raise KeyboardInterrupt
+        flag.signum = signum
+
+    prev_int = signal.signal(signal.SIGINT, _on_signal)
+    prev_term = signal.signal(signal.SIGTERM, _on_signal)
+    try:
+        yield flag
+    finally:
+        signal.signal(signal.SIGINT, prev_int)
+        signal.signal(signal.SIGTERM, prev_term)
+
+
+# ---------------------------------------------------------------------------
 # serial path
 # ---------------------------------------------------------------------------
 class _SerialTimeout(Exception):
@@ -387,13 +452,17 @@ def _serial_deadline(seconds: float | None):
 def _run_serial(states: list[_TaskState], scale: WorkloadScale,
                 policy: RetryPolicy, report: FailureReport,
                 merge: Callable[["RunTask", "RunResult"], None],
-                progress: Callable[[int, int], None] | None) -> None:
+                progress: Callable[[int, int], None] | None,
+                interrupt: _InterruptFlag) -> None:
     from repro.harness.parallel import _execute_task
 
     total = len(states)
     done_count = 0
     for state in states:
         while not state.done and not state.failed:
+            if interrupt:
+                report.executed = done_count
+                return
             try:
                 with _serial_deadline(policy.task_timeout):
                     faults.inject_task_fault(
@@ -516,7 +585,8 @@ class _WorkerHandle:
 def _run_pool(states: list[_TaskState], scale: WorkloadScale, jobs: int,
               policy: RetryPolicy, report: FailureReport,
               merge: Callable[["RunTask", "RunResult"], None],
-              progress: Callable[[int, int], None] | None) -> None:
+              progress: Callable[[int, int], None] | None,
+              interrupt: _InterruptFlag) -> None:
     mp_context = get_context()
     total = len(states)
     by_key = {state.key: state for state in states}
@@ -545,7 +615,8 @@ def _run_pool(states: list[_TaskState], scale: WorkloadScale, jobs: int,
     try:
         while True:
             now = time.monotonic()
-            if not aborting:
+            stopping = aborting or bool(interrupt)
+            if not stopping:
                 for worker in list(workers):
                     if worker.state is not None:
                         continue
@@ -567,16 +638,23 @@ def _run_pool(states: list[_TaskState], scale: WorkloadScale, jobs: int,
                         waiting.insert(0, state)
                         respawn(worker)
             running = [w for w in workers if w.state is not None]
-            if aborting:
+            if stopping:
+                # Fail-fast abort or SIGINT/SIGTERM: kill in-flight
+                # workers; their tasks stay neither done nor failed and
+                # land in the report's ``unfinished`` list.
                 for worker in running:
                     worker.clear()
                     worker.destroy()
                 break
             if not running and not waiting:
                 break
+            timeout = _poll_timeout(waiting, workers, now)
+            if timeout is None:
+                # Bounded tick even with no deadline pending, so an
+                # interrupt latched mid-wait is honoured promptly.
+                timeout = _MAX_TICK
             ready = connection_wait(
-                [w.conn for w in workers],
-                timeout=_poll_timeout(waiting, workers, now),
+                [w.conn for w in workers], timeout=timeout,
             )
             now = time.monotonic()
             conn_to_worker = {w.conn: w for w in workers}
@@ -679,10 +757,14 @@ def run_supervised(
     report = FailureReport(policy=policy, total=len(states))
     if not states:
         return report
-    if jobs <= 1 or len(states) == 1:
-        _run_serial(states, scale, policy, report, merge, progress)
-    else:
-        _run_pool(states, scale, jobs, policy, report, merge, progress)
+    with _interrupt_guard() as interrupt:
+        if jobs <= 1 or len(states) == 1:
+            _run_serial(states, scale, policy, report, merge, progress,
+                        interrupt)
+        else:
+            _run_pool(states, scale, jobs, policy, report, merge, progress,
+                      interrupt)
+    report.interrupted = bool(interrupt)
     return _finalize_report(report, states, scale.name)
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 
 from repro.config import LinkConfig
-from repro.errors import InterconnectError
+from repro.errors import InterconnectError, SnapshotError
 from repro.sim.engine import Engine
 from repro.sim.resource import BandwidthResource, UtilizationWindow
 from repro.sim.stats import StatGroup, flatten_slots
@@ -260,3 +260,56 @@ class DuplexLink:
         self._res_egress.set_rate(rate)
         self._res_ingress.set_rate(rate)
         self.n_symmetric_resets += 1
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (DESIGN.md, "Snapshot & resume contract")
+    # ------------------------------------------------------------------
+    # ``windows`` is a fixed two-entry container whose values snapshot
+    # below; ``_pending_turns`` must be zero at a quiescent boundary (a
+    # pending commit is an engine event) and is asserted, not captured;
+    # ``_stats`` is the StatGroup shadow flatten_slots refills from the
+    # slotted counters on every read.
+    _SNAPSHOT_EXEMPT = (
+        "socket_id",
+        "config",
+        "engine",
+        "latency",
+        "label",
+        "owner",
+        "windows",
+        "_pending_turns",
+        "_stats",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Lane split, both bandwidth servers and windows, counters."""
+        if self._pending_turns:
+            raise SnapshotError(
+                f"{self.label}: {self._pending_turns} lane turn(s) still "
+                "in their quiesce window"
+            )
+        return {
+            "lanes_egress": self._lanes_egress,
+            "lanes_ingress": self._lanes_ingress,
+            "res_egress": self._res_egress.snapshot_state(),
+            "res_ingress": self._res_ingress.snapshot_state(),
+            "win_egress": self.windows[Direction.EGRESS].snapshot_state(),
+            "win_ingress": self.windows[Direction.INGRESS].snapshot_state(),
+            "counters": [
+                [key, getattr(self, attr)]
+                for attr, key in self._STAT_FIELDS
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`, onto a fresh link."""
+        self._lanes_egress = int(state["lanes_egress"])
+        self._lanes_ingress = int(state["lanes_ingress"])
+        self._res_egress.restore_state(state["res_egress"])
+        self._res_ingress.restore_state(state["res_ingress"])
+        self.windows[Direction.EGRESS].restore_state(state["win_egress"])
+        self.windows[Direction.INGRESS].restore_state(state["win_ingress"])
+        self._pending_turns = 0
+        counters = dict((key, value) for key, value in state["counters"])
+        for attr, key in self._STAT_FIELDS:
+            setattr(self, attr, int(counters.get(key, 0)))

@@ -169,3 +169,23 @@ class Switch:
         return DistanceModel.identity(
             len(self.links), self.links[0].bandwidth(Direction.EGRESS)
         )
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (DESIGN.md, "Snapshot & resume contract")
+    # ------------------------------------------------------------------
+    _SNAPSHOT_EXEMPT = ("engine", "owners", "_stats")
+
+    def snapshot_state(self) -> dict:
+        """Per-link states plus the crossbar's packet counters."""
+        return {
+            "links": [link.snapshot_state() for link in self.links],
+            "packets": self.n_packets,
+            "bytes": self.n_bytes,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`, onto a fresh switch."""
+        for link, link_state in zip(self.links, state["links"]):
+            link.restore_state(link_state)
+        self.n_packets = int(state["packets"])
+        self.n_bytes = int(state["bytes"])

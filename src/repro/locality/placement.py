@@ -108,6 +108,39 @@ class PagePolicy:
     ) -> None:
         """Wire the runtime collaborators (no-op for static policies)."""
 
+    # ------------------------------------------------------------------
+    # snapshot / restore (DESIGN.md, "Snapshot & resume contract")
+    # ------------------------------------------------------------------
+    # Geometry and the spec are construction-time; ``stats`` is the
+    # Placement facade's StatGroup and is captured by the facade.
+    _SNAPSHOT_EXEMPT = (
+        "n_sockets",
+        "page_size",
+        "granularity",
+        "migration_latency",
+        "spec",
+        "stats",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Page->home table as an insertion-ordered pair list."""
+        return {
+            "page_home": [
+                [page, home] for page, home in self.page_home.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`.
+
+        The table is refilled *in place*: ``Placement._page_home``
+        aliases this dict (the fused first-touch path and UVM prefetch
+        write it directly), so the object identity must survive restore.
+        """
+        self.page_home.clear()
+        for page, home in state["page_home"]:
+            self.page_home[int(page)] = int(home)
+
 
 class FineInterleavePolicy(PagePolicy):
     """Sub-page interleaving across sockets (traditional UMA layout)."""
@@ -189,7 +222,9 @@ class DynamicPagePolicy(PagePolicy):
     # ------------------------------------------------------------------
     # protocol entry points
     # ------------------------------------------------------------------
-    def touch(self, addr: int, accessor: int) -> tuple[int, int]:
+    def touch(
+        self, addr: int, accessor: int, is_write: bool = False
+    ) -> tuple[int, int]:
         """One counted demand access: ``(home, extra_latency)``."""
         raise NotImplementedError
 
@@ -238,6 +273,25 @@ class DynamicPagePolicy(PagePolicy):
             )
         return self.migration_latency
 
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    # Runtime wiring is rebound by ``attach`` at construction time.
+    _SNAPSHOT_EXEMPT = ("_fabric", "_engine", "_page_table", "distance")
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["moves"] = [[page, n] for page, n in self._moves.items()]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        # ``.get`` defaults keep cross-kind forks legal: a branch from a
+        # different placement kind hands over only ``page_home``.
+        super().restore_state(state)
+        self._moves.clear()
+        for page, n in state.get("moves", []):
+            self._moves[int(page)] = int(n)
+
 
 class DistanceWeightedFirstTouchPolicy(DynamicPagePolicy):
     """First touch with hop-weighted centroid re-homing."""
@@ -252,7 +306,9 @@ class DistanceWeightedFirstTouchPolicy(DynamicPagePolicy):
         #: page -> total touches (avoids re-summing the count row).
         self._seen: dict[int, int] = {}
 
-    def touch(self, addr: int, accessor: int) -> tuple[int, int]:
+    def touch(
+        self, addr: int, accessor: int, is_write: bool = False
+    ) -> tuple[int, int]:
         page = addr // self.page_size
         home = self.page_home.get(page)
         if home is None:
@@ -315,9 +371,39 @@ class DistanceWeightedFirstTouchPolicy(DynamicPagePolicy):
                 best = s
         return best, home_cost - best_cost
 
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["counts"] = [
+            [page, list(row)] for page, row in self._counts.items()
+        ]
+        state["seen"] = [[page, n] for page, n in self._seen.items()]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._counts.clear()
+        for page, row in state.get("counts", []):
+            self._counts[int(page)] = [int(c) for c in row]
+        self._seen.clear()
+        for page, n in state.get("seen", []):
+            self._seen[int(page)] = int(n)
+
 
 class AccessCounterMigrationPolicy(DynamicPagePolicy):
-    """Re-home after N remote touches from one socket (paper §4 dynamic)."""
+    """Re-home after N remote touches from one socket (paper §4 dynamic).
+
+    The read-shared filter (``spec.read_shared_filter``, on by default)
+    fixes this policy's historical ping-pong loss: a page read by two or
+    more remote sockets with no remote writes can never be made local to
+    more than one of them, so migrating it only bounces the page between
+    sharers — each bounce paying a page copy on the fabric plus the
+    migration stall — until the per-page move cap ran out. Such pages now
+    stay put; pages dominated by a *single* remote reader, or written
+    remotely, still migrate exactly as before.
+    """
 
     kind = "access_counter_migration"
 
@@ -326,8 +412,12 @@ class AccessCounterMigrationPolicy(DynamicPagePolicy):
         super().__init__(config, spec, stats)
         #: page -> {socket: remote touches since the last homing}.
         self._remote: dict[int, dict[int, int]] = {}
+        #: page -> remote writes since the last homing (read-shared test).
+        self._writes: dict[int, int] = {}
 
-    def touch(self, addr: int, accessor: int) -> tuple[int, int]:
+    def touch(
+        self, addr: int, accessor: int, is_write: bool = False
+    ) -> tuple[int, int]:
         page = addr // self.page_size
         home = self.page_home.get(page)
         if home is None:
@@ -335,19 +425,52 @@ class AccessCounterMigrationPolicy(DynamicPagePolicy):
             return accessor, self.migration_latency
         if accessor == home:
             return home, 0
+        if is_write:
+            self._writes[page] = self._writes.get(page, 0) + 1
         counts = self._remote.get(page)
         if counts is None:
             counts = {}
             self._remote[page] = counts
-        n = counts.get(accessor, 0) + 1
+        counts[accessor] = n = counts.get(accessor, 0) + 1
         if (
             n >= self.spec.migration_threshold
             and self._moves.get(page, 0) < self.spec.max_migrations_per_page
         ):
-            counts.clear()
-            return accessor, self._re_home(page, home, accessor)
-        counts[accessor] = n
+            # Read-shared suppression: with the current touch recorded,
+            # ``len(counts) > 1`` means a second distinct remote socket
+            # has also touched the page since its last homing.
+            if not (
+                self.spec.read_shared_filter
+                and len(counts) > 1
+                and self._writes.get(page, 0) == 0
+            ):
+                counts.clear()
+                self._writes.pop(page, None)
+                return accessor, self._re_home(page, home, accessor)
         return home, 0
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["remote"] = [
+            [page, [[socket, n] for socket, n in counts.items()]]
+            for page, counts in self._remote.items()
+        ]
+        state["writes"] = [[page, n] for page, n in self._writes.items()]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._remote.clear()
+        for page, counts in state.get("remote", []):
+            self._remote[int(page)] = dict(
+                (int(socket), int(n)) for socket, n in counts
+            )
+        self._writes.clear()
+        for page, n in state.get("writes", []):
+            self._writes[int(page)] = int(n)
 
 
 #: kind -> policy class; the registry behind ``build_page_policy`` and

@@ -53,13 +53,19 @@ class PlacementSpec:
     hop-weighted centroid; ``migration_threshold`` — remote touches from
     one socket that trigger an ``access_counter_migration`` re-home;
     ``max_migrations_per_page`` — re-home cap preventing ping-pong
-    (first-touch claims are not counted against it).
+    (first-touch claims are not counted against it);
+    ``read_shared_filter`` — ``access_counter_migration`` only: suppress
+    re-homing of pages that are *read-shared* (two or more distinct
+    remote readers, zero remote writes since the last homing) — moving
+    such a page can never make more than one of its readers local, so
+    migration just ping-pongs it between sharers.
     """
 
     kind: str = "first_touch"
     touch_window: int = 32
     migration_threshold: int = 32
     max_migrations_per_page: int = 2
+    read_shared_filter: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in PLACEMENT_KINDS:

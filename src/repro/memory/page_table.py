@@ -93,13 +93,19 @@ class PageTable:
         """
         self._policy.attach(fabric, engine, distance, self)
 
-    def translate(self, addr: int, accessor: int) -> tuple[int, int]:
+    def translate(
+        self, addr: int, accessor: int, is_write: bool = False
+    ) -> tuple[int, int]:
         """Return ``(home_socket, extra_latency)`` for one access.
 
         ``extra_latency`` is nonzero on the first touch of a page under
         a claiming policy (the on-demand page copy from system memory)
         and on a dynamic re-home (the triggering access stalls while the
         page moves).
+
+        ``is_write`` only matters to the dynamic policies: the
+        access-counter migration policy uses it to tell read-shared pages
+        (which it must not ping-pong) from write-shared ones.
 
         (Hot path: runs on every translation-cache miss — and on *every*
         access under a dynamic policy — so the first-touch probe and the
@@ -128,7 +134,7 @@ class PageTable:
         if self._dynamic and placement.n_sockets > 1:
             if accessor < 0 or accessor >= placement.n_sockets:
                 placement.home_socket(addr, accessor)  # canonical range error
-            home, extra = self._policy.touch(addr, accessor)
+            home, extra = self._policy.touch(addr, accessor, is_write)
             self.n_translations += 1
             if extra:
                 self.n_faults += 1
@@ -197,3 +203,37 @@ class PageTable:
     def re_homed_pages(self) -> int:
         """Dynamic re-homes performed so far (zero for static policies)."""
         return self.placement.re_homes
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (DESIGN.md, "Snapshot & resume contract")
+    # ------------------------------------------------------------------
+    # The placement facade snapshots itself (it is shared wiring, not
+    # owned state here); the registered line caches belong to the sockets
+    # and are captured there.
+    _SNAPSHOT_EXEMPT = (
+        "placement",
+        "migration_latency",
+        "cacheable",
+        "_policy",
+        "_dynamic",
+        "_fused_first_touch",
+        "_stats",
+        "_line_caches",
+        "_lines_per_page",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Translation counters (the policy state lives in Placement)."""
+        return {
+            "faults": self.n_faults,
+            "translations": self.n_translations,
+            "translation_invalidations": self.n_translation_invalidations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self.n_faults = int(state["faults"])
+        self.n_translations = int(state["translations"])
+        self.n_translation_invalidations = int(
+            state["translation_invalidations"]
+        )

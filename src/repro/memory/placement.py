@@ -103,3 +103,29 @@ class Placement:
     def re_homes(self) -> int:
         """Dynamic re-homes performed (zero for static policies)."""
         return self.stats["re_homes"]
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (DESIGN.md, "Snapshot & resume contract")
+    # ------------------------------------------------------------------
+    # ``_page_home`` aliases the policy's table and is restored through
+    # it (in place, so the shared object identity survives).
+    _SNAPSHOT_EXEMPT = (
+        "n_sockets",
+        "page_size",
+        "granularity",
+        "kind",
+        "policy",
+        "_page_home",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Placement stats plus the active policy's own state."""
+        return {
+            "stats": self.stats.snapshot_state(),
+            "policy": self.policy_obj.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self.stats.restore_state(state["stats"])
+        self.policy_obj.restore_state(state["policy"])

@@ -43,7 +43,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
-from repro.errors import SchedulingError
+from repro.errors import SchedulingError, SnapshotError
 
 Callback = Callable[..., None]
 
@@ -284,3 +284,35 @@ class Engine:
     def peek_time(self) -> int | None:
         """Time of the next pending event, or ``None`` when idle."""
         return self._times[0] if self._times else None
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (DESIGN.md, "Snapshot & resume contract")
+    # ------------------------------------------------------------------
+    # The queue itself is never serialized: snapshots are only legal at
+    # quiescent boundaries where the queue is empty, so the mutable state
+    # reduces to the clock and the event counter. ``_buckets`` /
+    # ``_times`` / ``_pending`` are asserted empty and ``_running`` false.
+    _SNAPSHOT_EXEMPT = ("_buckets", "_times", "_pending", "_running")
+
+    def snapshot_state(self) -> dict:
+        """Clock + event counter of a drained engine.
+
+        Raises :class:`~repro.errors.SnapshotError` when events are still
+        queued or a drain is in progress — entries in the bucket queue
+        are arbitrary bound methods and cannot be serialized.
+        """
+        if self._pending or self._buckets or self._running:
+            raise SnapshotError(
+                f"engine is not quiescent: {self._pending} pending "
+                f"event(s), running={self._running}"
+            )
+        return {"now": self.now, "events_processed": self._events_processed}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`, onto a fresh engine."""
+        self._buckets.clear()
+        self._times.clear()
+        self._pending = 0
+        self._running = False
+        self.now = int(state["now"])
+        self._events_processed = int(state["events_processed"])

@@ -1,0 +1,186 @@
+"""Study-journal tests: crash-resumable suites (Level 2 checkpointing).
+
+A study directory must (a) replay journaled-done cells byte-identically
+into a fresh context, (b) re-run cells that only reached their ``start``
+line, (c) survive crash-torn or bit-rotted journal tails by sidecarring
+them instead of failing, and (d) refuse to resume into a different
+simulator version, source tree, scale, or study. The kill-resume leg of
+``scripts/chaos_smoke.py`` exercises the same contract end-to-end with a
+real SIGKILL; these tests pin the pieces in isolation.
+"""
+
+import json
+
+import pytest
+
+from repro.config import CacheArch
+from repro.errors import CheckpointError
+from repro.harness.checkpoint import (
+    CORRUPT_SIDECAR,
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    StudyJournal,
+    cell_key,
+)
+from repro.harness.parallel import ParallelRunner, RunTask, make_context
+from repro.harness.runner import ExperimentContext
+from repro.metrics.export import result_to_json_dict
+from repro.workloads.spec import SCALES
+
+TINY = SCALES["tiny"]
+STUDY = "test-study"
+
+
+def canonical(result) -> str:
+    return json.dumps(result_to_json_dict(result), sort_keys=True, indent=1)
+
+
+def _tasks(ctx: ExperimentContext) -> list[RunTask]:
+    config = ctx.config_cache(CacheArch.MEM_SIDE)
+    return [
+        RunTask("Rodinia-BFS", config, record_timelines=False),
+        RunTask("Rodinia-Hotspot", config, record_timelines=False),
+    ]
+
+
+def _run_study(root, tasks=None) -> tuple[ExperimentContext, list[RunTask]]:
+    """Execute a tiny study under a fresh journal; return its context."""
+    ctx = make_context(TINY, cache_dir=None)
+    tasks = _tasks(ctx) if tasks is None else tasks
+    with StudyJournal.start(root, TINY.name, STUDY) as journal:
+        runner = ParallelRunner(ctx, jobs=1, journal=journal)
+        runner.prewarm(tasks)
+        assert runner.executed == len(tasks)
+    return ctx, tasks
+
+
+def _key(ctx: ExperimentContext, task: RunTask) -> str:
+    return cell_key(task.workload, ctx.scale.name,
+                    task.record_timelines, task.config)
+
+
+# ---------------------------------------------------------------------------
+# journal round-trip
+# ---------------------------------------------------------------------------
+
+def test_resume_replays_done_cells_byte_identically(tmp_path):
+    ctx, tasks = _run_study(tmp_path)
+    journal = StudyJournal.resume(tmp_path, TINY.name, STUDY)
+    assert journal.stats()["done"] == len(tasks)
+    for task in tasks:
+        replayed = journal.done_result(_key(ctx, task))
+        original = ctx.run(task.workload, task.config)
+        assert canonical(replayed) == canonical(original)
+    journal.close()
+
+
+def test_runner_skips_journaled_cells_on_resume(tmp_path):
+    _, _ = _run_study(tmp_path)
+    # A fresh context (empty memo, no disk cache) resuming the same
+    # study must simulate nothing: every cell seeds from the journal.
+    ctx = make_context(TINY, cache_dir=None)
+    tasks = _tasks(ctx)
+    with StudyJournal.resume(tmp_path, TINY.name, STUDY) as journal:
+        runner = ParallelRunner(ctx, jobs=1, journal=journal)
+        runner.prewarm(tasks)
+        assert runner.executed == 0
+        assert runner.skipped == len(tasks)
+    for task in tasks:
+        key = ctx.cache_key(task.workload, task.config, task.record_timelines)
+        assert ctx.is_cached(key)
+
+
+def test_started_but_unfinished_cells_rerun(tmp_path):
+    ctx, tasks = _run_study(tmp_path, tasks=None)
+    # Simulate a cell that was dispatched but never finished: append a
+    # fresh start line for a third task, then resume.
+    extra = RunTask("ML-GoogLeNet-cudnn-Lev2",
+                    ctx.config_cache(CacheArch.MEM_SIDE),
+                    record_timelines=False)
+    with StudyJournal.resume(tmp_path, TINY.name, STUDY) as journal:
+        journal.record_start(_key(ctx, extra))
+    fresh = make_context(TINY, cache_dir=None)
+    with StudyJournal.resume(tmp_path, TINY.name, STUDY) as journal:
+        assert journal.done_result(_key(fresh, extra)) is None
+        runner = ParallelRunner(fresh, jobs=1, journal=journal)
+        runner.prewarm(_tasks(fresh) + [extra])
+        assert runner.executed == 1  # only the in-flight cell re-ran
+        assert runner.skipped == 2
+
+
+# ---------------------------------------------------------------------------
+# corruption
+# ---------------------------------------------------------------------------
+
+def test_corrupt_tail_is_sidecarred_not_fatal(tmp_path):
+    _run_study(tmp_path)
+    journal_path = tmp_path / JOURNAL_NAME
+    good_lines = journal_path.read_text().splitlines()
+    with open(journal_path, "a") as fh:
+        fh.write('{"checksum": "0000", "payload": {"kind": "done"')  # torn
+        fh.write("\n\x00garbage bit rot\n")
+    journal = StudyJournal.resume(tmp_path, TINY.name, STUDY)
+    assert journal.corrupt_lines == 2
+    assert journal.stats()["done"] == 2
+    journal.close()
+    sidecar = tmp_path / CORRUPT_SIDECAR
+    assert len(sidecar.read_text().splitlines()) == 2
+    # Compaction rewrote the journal: only the valid lines remain, and a
+    # second resume sees a clean file.
+    assert journal_path.read_text().splitlines() == good_lines
+    second = StudyJournal.resume(tmp_path, TINY.name, STUDY)
+    assert second.corrupt_lines == 0
+    second.close()
+
+
+def test_tampered_done_line_is_dropped(tmp_path):
+    ctx, tasks = _run_study(tmp_path)
+    journal_path = tmp_path / JOURNAL_NAME
+    lines = journal_path.read_text().splitlines()
+    # Flip one cycle count inside a done line without fixing its
+    # checksum: the line must be quarantined, not replayed.
+    tampered = [
+        line.replace('"cycles":', '"cycles_":', 1)
+        if '"kind":"done"' in line.replace(" ", "") else line
+        for line in lines
+    ]
+    assert tampered != lines
+    journal_path.write_text("".join(line + "\n" for line in tampered))
+    journal = StudyJournal.resume(tmp_path, TINY.name, STUDY)
+    assert journal.corrupt_lines > 0
+    assert journal.stats()["done"] < len(tasks)
+    journal.close()
+
+
+# ---------------------------------------------------------------------------
+# manifest verification
+# ---------------------------------------------------------------------------
+
+def test_resume_refuses_missing_manifest(tmp_path):
+    with pytest.raises(CheckpointError, match="nothing to resume"):
+        StudyJournal.resume(tmp_path / "empty", TINY.name, STUDY)
+
+
+def test_resume_refuses_scale_and_study_mismatch(tmp_path):
+    _run_study(tmp_path)
+    with pytest.raises(CheckpointError, match="scale"):
+        StudyJournal.resume(tmp_path, "small", STUDY)
+    with pytest.raises(CheckpointError, match="study"):
+        StudyJournal.resume(tmp_path, TINY.name, "other-study")
+
+
+def test_resume_refuses_tampered_manifest(tmp_path):
+    _run_study(tmp_path)
+    manifest = tmp_path / MANIFEST_NAME
+    data = json.loads(manifest.read_text())
+    data["payload"]["scale"] = "huge"  # checksum now stale
+    manifest.write_text(json.dumps(data))
+    with pytest.raises(CheckpointError, match="checksum"):
+        StudyJournal.resume(tmp_path, TINY.name, STUDY)
+
+
+def test_start_truncates_previous_journal(tmp_path):
+    _run_study(tmp_path)
+    journal = StudyJournal.start(tmp_path, TINY.name, STUDY)
+    journal.close()
+    assert (tmp_path / JOURNAL_NAME).read_text() == ""

@@ -12,6 +12,9 @@ against the *same* plans so the parity contract — identical failure
 reports in both modes — is tested directly rather than assumed.
 """
 
+import os
+import signal
+
 import pytest
 
 from repro.errors import ExecutionError
@@ -26,11 +29,12 @@ from repro.harness.faults import (
     InjectedTransientError,
     parse_fault_plan,
 )
-from repro.harness.parallel import ParallelRunner, RunTask
+from repro.harness.parallel import ParallelRunner, RunTask, capture_plan
 from repro.harness.runner import ExperimentContext
 from repro.harness.supervisor import (
     RetryPolicy,
     repro_command_for,
+    run_supervised,
     task_key,
 )
 from repro.workloads.spec import WorkloadScale
@@ -339,3 +343,63 @@ def test_injected_corruption_is_quarantined_on_get(ctx, monkeypatch,
     assert cache.corrupt == 1
     assert not path.exists()  # moved aside, never re-read
     assert path.with_suffix(".corrupt").exists()
+
+
+# ---------------------------------------------------------------------------
+# graceful interruption (SIGINT/SIGTERM)
+# ---------------------------------------------------------------------------
+
+def _interrupting_merge(merged: list):
+    """A merge callback that raises SIGINT after the first completion."""
+    def merge(task, result):
+        merged.append(task)
+        if len(merged) == 1:
+            os.kill(os.getpid(), signal.SIGINT)
+    return merge
+
+
+def test_sigint_stops_serial_run_with_partial_report(ctx):
+    tasks = capture_plan(ctx, DRIVERS)
+    merged: list = []
+    report = run_supervised(
+        tasks, MICRO, 1, RetryPolicy(), _interrupting_merge(merged)
+    )
+    assert report.interrupted
+    assert not report.ok()
+    assert report.executed == 1 and len(merged) == 1
+    # Every other task lands in unfinished — the caller prints them and
+    # the --resume command.
+    assert len(report.unfinished) == len(tasks) - 1
+    assert "INTERRUPTED" in report.headline()
+    assert f"{report.executed}/{len(tasks)}" in report.headline()
+    assert report.to_json_dict()["interrupted"] is True
+
+
+@pytest.mark.parametrize("jobs", [2])
+def test_sigterm_stops_pool_run_and_kills_workers(ctx, jobs):
+    tasks = capture_plan(ctx, DRIVERS)
+    merged: list = []
+
+    def merge(task, result):
+        merged.append(task)
+        if len(merged) == 1:
+            os.kill(os.getpid(), signal.SIGTERM)
+
+    report = run_supervised(tasks, MICRO, jobs, RetryPolicy(), merge)
+    assert report.interrupted and not report.ok()
+    # In-flight results may still land while workers are being killed,
+    # but the run must stop well short of the full grid.
+    assert 1 <= report.executed < len(tasks)
+    assert report.unfinished
+    assert report.executed + len(report.unfinished) == len(tasks)
+
+
+def test_signal_handlers_are_restored_after_the_run(ctx):
+    before = (signal.getsignal(signal.SIGINT),
+              signal.getsignal(signal.SIGTERM))
+    tasks = capture_plan(ctx, DRIVERS)[:1]
+    report = run_supervised(tasks, MICRO, 1, RetryPolicy(),
+                            lambda task, result: None)
+    assert report.ok() and not report.interrupted
+    assert (signal.getsignal(signal.SIGINT),
+            signal.getsignal(signal.SIGTERM)) == before

@@ -340,6 +340,69 @@ def test_peek_home_never_touches_counters():
     assert table.re_homed_pages == 0  # peeks are uncounted
 
 
+def test_acm_read_shared_pages_stay_put():
+    # Two remote readers and zero remote writes: migrating can only
+    # bounce the page between the sharers, so the filter pins it.
+    table = PageTable(
+        locality_config(
+            placement="access_counter_migration", migration_threshold=2,
+        )
+    )
+    table.translate(0, accessor=1)  # claim at socket 1
+    for _ in range(20):
+        assert table.translate(0, accessor=2) == (1, 0)
+        assert table.translate(0, accessor=3) == (1, 0)
+    assert table.re_homed_pages == 0
+
+
+def test_acm_remote_write_defeats_read_shared_filter():
+    table = PageTable(
+        locality_config(
+            placement="access_counter_migration", migration_threshold=3,
+        )
+    )
+    table.translate(0, accessor=1)  # claim at socket 1
+    table.translate(0, accessor=3)  # second remote sharer registers
+    table.translate(0, accessor=2, is_write=True)
+    table.translate(0, accessor=2)
+    # Third touch from socket 2 crosses the threshold; the recorded
+    # remote write proves the page is not read-shared, so it migrates.
+    home, extra = table.translate(0, accessor=2)
+    assert home == 2 and extra == table.migration_latency
+    assert table.re_homed_pages == 1
+
+
+def test_acm_filter_off_restores_ping_pong():
+    table = PageTable(
+        locality_config(
+            placement="access_counter_migration", migration_threshold=2,
+            read_shared_filter=False,
+        )
+    )
+    table.translate(0, accessor=1)  # claim at socket 1
+    table.translate(0, accessor=2)
+    table.translate(0, accessor=3)
+    home, _ = table.translate(0, accessor=2)  # 2nd touch from socket 2
+    assert home == 2 and table.re_homed_pages == 1
+    table.translate(0, accessor=3)
+    home, _ = table.translate(0, accessor=3)  # bounces straight back
+    assert home == 3 and table.re_homed_pages == 2
+
+
+def test_acm_single_reader_migrates_with_filter_on():
+    # The filter only suppresses multi-sharer pages; a page dominated by
+    # one remote reader migrates exactly as before.
+    table = PageTable(
+        locality_config(
+            placement="access_counter_migration", migration_threshold=2,
+        )
+    )
+    table.translate(0, accessor=1)
+    table.translate(0, accessor=2)
+    home, _ = table.translate(0, accessor=2)
+    assert home == 2 and table.re_homed_pages == 1
+
+
 def test_dynamic_policy_disables_translation_cache_fill():
     config = locality_config(placement="distance_weighted_first_touch",
                              kind="ring")
