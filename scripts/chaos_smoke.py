@@ -13,7 +13,7 @@ over the same figure grid, both opening with a clean serial reference:
    transient exception, garbles a fraction of disk-cache entries after
    they are written, and fails a fraction of cache writes with ENOSPC.
    Must exit 0, produce figures **byte-identical** to the reference
-   (modulo ``wall_seconds``/``jobs``), and leave a failure report that
+   (modulo ``wall_seconds``/``jobs``/``telemetry``), and leave a failure report that
    lists every injected fault with its attempt transcript.
 3. **Quarantine pass** — the suite again over the *same* cache
    directory, so the entries pass 2 corrupted are hit on ``get``,
@@ -64,9 +64,11 @@ PLAN = "seed=1017;crash_nth=1;transient_nth=3;corrupt=0.2;enospc=0.05"
 
 def load_figures(path: Path) -> dict:
     data = json.loads(path.read_text())
-    # Timing and worker count legitimately differ between runs.
+    # Timing, worker count, and harness telemetry (wall-clock worker
+    # spans) legitimately differ between runs.
     data.pop("wall_seconds", None)
     data.pop("jobs", None)
+    data.pop("telemetry", None)
     return data
 
 

@@ -179,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
         "journaled-done cells are skipped, in-flight ones re-run; "
         "figures are byte-identical to an uninterrupted run",
     )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write a Chrome/Perfetto trace of the harness telemetry "
+        "(per-worker task spans, wall clock) to DIR/study_trace.json",
+    )
     return parser
 
 
@@ -417,6 +422,21 @@ def main(argv: list[str] | None = None) -> int:
         "numa_aware_w": pw.geomean("numa_aware_w"),
     }
 
+    # Harness telemetry (wall-clock; excluded from determinism checks):
+    # per-worker task spans and tally deltas plus cross-process totals,
+    # and the disk-cache health counters when a cache is attached.
+    out["telemetry"] = report.telemetry if report is not None else None
+    if out["telemetry"] is not None and report.cache is not None:
+        out["telemetry"]["cache"] = report.cache
+    if args.trace_dir is not None and report is not None:
+        import os
+
+        from repro.obs.chrome import study_to_chrome, write_chrome_trace
+
+        os.makedirs(args.trace_dir, exist_ok=True)
+        trace_path = os.path.join(args.trace_dir, "study_trace.json")
+        write_chrome_trace(study_to_chrome(report.telemetry), trace_path)
+        print(f"study trace -> {trace_path}", flush=True)
     out["wall_seconds"] = time.time() - t0
     out["simulations"] = ctx.cached_runs
     with open(output, "w") as handle:

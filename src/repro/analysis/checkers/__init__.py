@@ -10,6 +10,9 @@ CI run. Rules (see DESIGN.md "Static contracts" for the catalogue):
   field participates in ``config_fingerprint``;
 * ``hot-path-alloc`` / ``hot-path-attr`` — allocation and attribute
   discipline inside the declared hot functions;
+* ``obs-hook-discipline`` — observability hooks in hot functions use
+  the prebound module-level NOOP callable pattern (no attribute-chain
+  lookups or tracer conditionals on the disabled path);
 * ``export-roundtrip`` — ``RunResult`` fields survive the JSON
   round-trip in ``metrics/export.py`` (or are explicitly omitted);
 * ``registry-hygiene`` — registered policies have docstrings and a test
@@ -24,6 +27,7 @@ from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.export_roundtrip import ExportRoundTripChecker
 from repro.analysis.checkers.fingerprint import FingerprintChecker
 from repro.analysis.checkers.hotpath import HotPathChecker
+from repro.analysis.checkers.obs_hooks import ObsHookDisciplineChecker
 from repro.analysis.checkers.registry_hygiene import RegistryHygieneChecker
 from repro.analysis.checkers.snapshot import SnapshotCompleteChecker
 from repro.analysis.core import LintChecker
@@ -39,6 +43,7 @@ def default_checkers(rules: tuple[str, ...] | None = None) -> list[LintChecker]:
         DeterminismChecker(),
         FingerprintChecker(),
         HotPathChecker(),
+        ObsHookDisciplineChecker(),
         ExportRoundTripChecker(),
         RegistryHygieneChecker(),
         SnapshotCompleteChecker(),
@@ -63,6 +68,7 @@ __all__ = [
     "ExportRoundTripChecker",
     "FingerprintChecker",
     "HotPathChecker",
+    "ObsHookDisciplineChecker",
     "RegistryHygieneChecker",
     "SnapshotCompleteChecker",
     "all_rules",

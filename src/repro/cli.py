@@ -5,10 +5,13 @@ Installed as the ``repro`` console script::
     repro list                         # the 41 workloads
     repro run HPC-MCB --sockets 4 --cache numa_aware --links dynamic
     repro run HPC-AMG --topology ring  # same workload on a ring fabric
+    repro run HPC-MCB --trace mcb.json # + Chrome/Perfetto trace export
     repro experiment figure8           # any table/figure driver
     repro experiment topology          # policy x fabric x socket sweep
     repro topology describe ring --sockets 8   # graph + routing tables
-    repro trace HPC-MCB out.trace      # record a replayable trace
+    repro trace run HPC-MCB out.json   # traced simulation -> trace.json
+    repro trace study results.json out.json  # worker telemetry -> trace
+    repro trace workload HPC-MCB out.trace   # record a replayable trace
     repro lint src scripts             # contract-enforcing static analysis
 """
 
@@ -111,6 +114,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="interconnect topology (default: the paper's crossbar)",
     )
+    run.add_argument(
+        "--trace",
+        nargs="?",
+        const="trace.json",
+        default=None,
+        metavar="PATH",
+        help="emit a Chrome/Perfetto trace of the run to PATH (default: "
+        "trace.json). Simulated time only (1 cycle = 1 us), so traces "
+        "of identical configs are byte-identical",
+    )
+    run.add_argument(
+        "--metrics-interval",
+        type=int,
+        default=0,
+        metavar="CYCLES",
+        help="with --trace: sample the stock metric gauges every N "
+        "simulated cycles into counter tracks (0 = off)",
+    )
 
     topo = sub.add_parser(
         "topology", help="inspect the declarative topology layer"
@@ -183,10 +204,46 @@ def build_parser() -> argparse.ArgumentParser:
         "results are byte-identical to an uninterrupted run",
     )
 
-    trace = sub.add_parser("trace", help="record a replayable trace")
-    trace.add_argument("workload")
-    trace.add_argument("output")
-    trace.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    trace = sub.add_parser(
+        "trace",
+        help="export Chrome/Perfetto traces or record replayable op traces",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_run = trace_sub.add_parser(
+        "run",
+        help="simulate one workload under the tracer and write its "
+        "Chrome/Perfetto trace.json (simulated-time tracks: kernel "
+        "spans per socket, miss paths, fabric transfers, migration "
+        "and lane instants, metric counters)",
+    )
+    trace_run.add_argument("workload")
+    trace_run.add_argument("output")
+    trace_run.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    trace_run.add_argument("--sockets", type=int, default=4)
+    trace_run.add_argument(
+        "--metrics-interval",
+        type=int,
+        default=1000,
+        metavar="CYCLES",
+        help="sample the stock metric gauges every N simulated cycles "
+        "into counter tracks (0 = off)",
+    )
+    trace_study = trace_sub.add_parser(
+        "study",
+        help="convert a study record's harness telemetry (a "
+        "run_experiments.py output or failure-report JSON with a "
+        "'telemetry' key) into a wall-clock worker-utilization trace",
+    )
+    trace_study.add_argument("input")
+    trace_study.add_argument("output")
+    trace_workload = trace_sub.add_parser(
+        "workload", help="record a replayable memory-op trace"
+    )
+    trace_workload.add_argument("workload")
+    trace_workload.add_argument("output")
+    trace_workload.add_argument(
+        "--scale", choices=sorted(SCALES), default="tiny"
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -262,7 +319,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     workload = get_workload(args.workload)
-    result = run_workload_on(config, workload, SCALES[args.scale])
+    if args.trace:
+        from repro.core.builder import run_workload_traced
+        from repro.obs import Tracer
+        from repro.obs.chrome import tracer_to_chrome, write_chrome_trace
+
+        tracer = Tracer()
+        # record_timelines adds monitor-only balancers, so the trace
+        # gets per-link utilization tracks even on the static policy
+        # (the Figure-5 capture precedent); passive monitors do not
+        # change the simulated results.
+        result, system = run_workload_traced(
+            config, workload, SCALES[args.scale],
+            record_timelines=True,
+            tracer=tracer, metrics_interval=args.metrics_interval,
+        )
+    else:
+        result = run_workload_on(config, workload, SCALES[args.scale])
     for key, value in run_to_dict(result).items():
         print(f"{key:16s} {value}")
     for edge in result.edges:
@@ -271,6 +344,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{edge.bytes_ba}B <-, lanes {edge.lanes_ab}/{edge.lanes_ba}, "
             f"{edge.lane_turns} turns"
         )
+    if args.trace:
+        payload = tracer_to_chrome(
+            tracer, registry=system.metrics,
+            link_timelines=result.link_timelines,
+            label=f"{args.workload}@{args.scale}",
+        )
+        write_chrome_trace(payload, args.trace)
+        print(f"{'trace':16s} {len(payload['traceEvents'])} events "
+              f"-> {args.trace}")
     return 0
 
 
@@ -409,11 +491,74 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "run":
+        return cmd_trace_run(args)
+    if args.trace_command == "study":
+        return cmd_trace_study(args)
     workload = get_workload(args.workload)
     trace = record_trace(workload, SCALES[args.scale])
     save_trace(trace, args.output)
     print(f"recorded {trace.total_ops()} memory ops across "
           f"{len(trace.kernels)} kernels -> {args.output}")
+    return 0
+
+
+def cmd_trace_run(args: argparse.Namespace) -> int:
+    """Simulate one workload under the tracer; write its Chrome trace."""
+    from repro.core.builder import run_workload_traced
+    from repro.obs import Tracer
+    from repro.obs.chrome import tracer_to_chrome, write_chrome_trace
+
+    tracer = Tracer()
+    workload = get_workload(args.workload)
+    result, system = run_workload_traced(
+        scaled_config(n_sockets=args.sockets), workload, SCALES[args.scale],
+        record_timelines=True,
+        tracer=tracer, metrics_interval=args.metrics_interval,
+    )
+    payload = tracer_to_chrome(
+        tracer, registry=system.metrics,
+        link_timelines=result.link_timelines,
+        label=f"{args.workload}@{args.scale}",
+    )
+    write_chrome_trace(payload, args.output)
+    print(f"{len(tracer.kernel_spans)} kernel spans, "
+          f"{len(tracer.read_spans)} read spans, "
+          f"{len(tracer.write_spans)} write spans, "
+          f"{len(tracer.fabric_sends)} fabric sends "
+          f"-> {args.output}")
+    return 0
+
+
+def cmd_trace_study(args: argparse.Namespace) -> int:
+    """Convert study-record harness telemetry into a wall-clock trace."""
+    import json
+
+    from repro.obs.chrome import study_to_chrome, write_chrome_trace
+
+    with open(args.input) as handle:
+        data = json.load(handle)
+    telemetry = (
+        data.get("telemetry")
+        if isinstance(data, dict) and "telemetry" in data
+        else data
+    )
+    if not isinstance(telemetry, dict) or "workers" not in telemetry:
+        print(
+            f"error: {args.input} carries no harness telemetry (expected "
+            "a run_experiments.py output or failure report with a "
+            "'telemetry' key, or a bare telemetry object)",
+            file=sys.stderr,
+        )
+        return 2
+    payload = study_to_chrome(telemetry)
+    write_chrome_trace(payload, args.output)
+    n_tasks = sum(
+        len(record.get("tasks", ()))
+        for record in telemetry["workers"].values()
+    )
+    print(f"{n_tasks} task spans across {len(telemetry['workers'])} "
+          f"workers -> {args.output}")
     return 0
 
 

@@ -33,12 +33,26 @@ from repro.workloads.spec import SMALL, WorkloadScale, WorkloadSpec
 
 
 def build_system(
-    config: SystemConfig | None = None, record_timelines: bool = False
+    config: SystemConfig | None = None,
+    record_timelines: bool = False,
+    tracer=None,
+    metrics_interval: int = 0,
 ) -> NumaGpuSystem:
-    """Construct a simulatable system (default: scaled 4-socket)."""
+    """Construct a simulatable system (default: scaled 4-socket).
+
+    ``tracer`` (a :class:`repro.obs.tracer.Tracer`) enables the
+    observability hook sites for the system's runs; a positive
+    ``metrics_interval`` additionally samples the stock metric gauges
+    every that many cycles (see DESIGN.md, "Observability contract").
+    """
     if config is None:
         config = scaled_config()
-    return NumaGpuSystem(config, record_timelines=record_timelines)
+    return NumaGpuSystem(
+        config,
+        record_timelines=record_timelines,
+        tracer=tracer,
+        metrics_interval=metrics_interval,
+    )
 
 
 # Most-recent (workload, scale) kernel list with memoizing CTA builders.
@@ -74,20 +88,26 @@ def _memoized_work(work: KernelWork) -> KernelWork:
     return KernelWork(work.name, work.n_ctas, build)
 
 
-def run_workload_on(
+def run_workload_traced(
     config: SystemConfig,
     workload: WorkloadSpec,
     scale: WorkloadScale = SMALL,
     record_timelines: bool = False,
-) -> RunResult:
-    """Build a fresh system, run one workload, return its RunResult.
+    tracer=None,
+    metrics_interval: int = 0,
+) -> "tuple[RunResult, NumaGpuSystem]":
+    """:func:`run_workload_on`, additionally returning the system.
 
-    Every run uses a fresh system: caches, page tables, and link state
-    never leak between experiments. CTA traces are config-independent and
-    read-only, so they are shared across consecutive runs of the same
-    workload+scale (see module docstring).
+    Trace exporters need the system after the run — its metric registry
+    (``system.metrics``) feeds the Chrome counter tracks that the
+    RunResult deliberately does not carry.
     """
-    system = build_system(config, record_timelines=record_timelines)
+    system = build_system(
+        config,
+        record_timelines=record_timelines,
+        tracer=tracer,
+        metrics_interval=metrics_interval,
+    )
     kernels = _memoizing_kernels(workload, scale)
     # Materialize every CTA's slices *before* the engine drain: traces
     # are pure functions of (workload, scale, cta_index) — the launcher
@@ -99,12 +119,38 @@ def run_workload_on(
         build = work.build_cta
         for cta_index in range(work.n_ctas):
             build(cta_index)
-    return system.run(kernels, workload_name=workload.name)
+    return system.run(kernels, workload_name=workload.name), system
+
+
+def run_workload_on(
+    config: SystemConfig,
+    workload: WorkloadSpec,
+    scale: WorkloadScale = SMALL,
+    record_timelines: bool = False,
+    tracer=None,
+    metrics_interval: int = 0,
+) -> RunResult:
+    """Build a fresh system, run one workload, return its RunResult.
+
+    Every run uses a fresh system: caches, page tables, and link state
+    never leak between experiments. CTA traces are config-independent and
+    read-only, so they are shared across consecutive runs of the same
+    workload+scale (see module docstring). ``tracer`` /
+    ``metrics_interval`` thread through to :func:`build_system`.
+    """
+    result, _ = run_workload_traced(
+        config, workload, scale,
+        record_timelines=record_timelines,
+        tracer=tracer,
+        metrics_interval=metrics_interval,
+    )
+    return result
 
 
 __all__ = [
     "build_system",
     "run_workload_on",
+    "run_workload_traced",
     "paper_config",
     "scaled_config",
     "single_gpu_config",

@@ -47,10 +47,16 @@ from repro.memory.cache import SetAssocCache
 from repro.memory.coherence import CoherenceDomain, FlushResult
 from repro.memory.dram import DramChannel
 from repro.memory.page_table import PageTable
+from repro.obs.hooks import NOOP, register
 from repro.sim.engine import Engine
 from repro.sim.path import ReadPath, WritePath
 from repro.sim.resource import BandwidthResource
 from repro.sim.stats import StatGroup, flatten_slots
+
+# Observability hook point (repro.obs.hooks): one call per issue burst
+# (not per op) folding the burst's counts into the tracer's aggregates.
+_obs_burst = NOOP
+register(__name__, "_obs_burst", "burst")
 
 OnDone = Callable[[], None]
 
@@ -530,6 +536,7 @@ class GpuSocket:
             self.n_writes += n_writes
             l1.n_write_hits += n_write_hits
             l1.n_write_misses += n_write_misses
+        _obs_burst(self, sm_index, now, n_hits, n_async)
         return i, n_async
 
     # ------------------------------------------------------------------

@@ -19,6 +19,8 @@ from repro.gpu.socket import GpuSocket
 from repro.locality.cta import build_cta_policy
 from repro.locality.distance import DistanceModel
 from repro.memory.page_table import PageTable
+from repro.obs import hooks as obs_hooks
+from repro.obs.metrics import MetricRegistry
 from repro.topology.fabric import build_fabric
 from repro.metrics.report import RunResult, collect_results
 from repro.runtime.kernel import KernelWork
@@ -28,12 +30,47 @@ from repro.sim.engine import Engine
 from repro.sim.instrumentation import SIM_TALLY
 
 
+def _wire_default_metrics(registry: MetricRegistry, system: "NumaGpuSystem") -> None:
+    """Register the stock gauge/counter set for a traced system.
+
+    Gauges are pure reads of slotted counters (never consuming probes
+    like ``UtilizationWindow.sample`` — the balancer policy depends on
+    that window state); counters capture end-of-run totals.
+    """
+    for socket in system.sockets:
+        sid = socket.socket_id
+        registry.gauge(f"socket{sid}.l2_misses", lambda s=socket: s.n_l2_misses)
+        registry.gauge(f"socket{sid}.dram_bytes", lambda s=socket: s.dram.n_bytes)
+    if system.switch is not None:
+        registry.gauge("fabric.bytes", lambda f=system.switch: f.n_bytes)
+        registry.gauge("fabric.packets", lambda f=system.switch: f.n_packets)
+    registry.counter("migrations", lambda pt=system.page_table: pt.migrations)
+    registry.counter(
+        "re_homed_pages", lambda pt=system.page_table: pt.re_homed_pages
+    )
+
+
 class NumaGpuSystem:
     """A multi-socket (or single-socket) GPU built from one config."""
 
-    def __init__(self, config: SystemConfig, record_timelines: bool = False) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        record_timelines: bool = False,
+        tracer=None,
+        metrics_interval: int = 0,
+    ) -> None:
         self.config = config
         self.record_timelines = record_timelines
+        #: a repro.obs.tracer.Tracer bound into the hook sites for the
+        #: duration of run()/resume(), or None (untraced: the hook
+        #: globals stay NOOP and nothing extra is scheduled or stored,
+        #: so results are byte-identical to pre-observability runs).
+        self.tracer = tracer
+        self.metrics: MetricRegistry | None = None
+        self._metrics_interval = metrics_interval
+        if tracer is not None and metrics_interval > 0:
+            self.metrics = MetricRegistry()
         self.engine = Engine()
         self.page_table = PageTable(config)
         self.uvm = UvmManager(self.page_table)
@@ -90,7 +127,28 @@ class NumaGpuSystem:
                 )
                 for socket in self.sockets
             ]
+        if self.metrics is not None:
+            _wire_default_metrics(self.metrics, self)
         self._launcher: Launcher | None = None
+
+    # ------------------------------------------------------------------
+    # observability (DESIGN.md, "Observability contract")
+    # ------------------------------------------------------------------
+    def _obs_enable(self) -> None:
+        """Bind the tracer into the hook sites and start the sampler."""
+        if self.tracer is None:
+            return
+        obs_hooks.enable(self.tracer)
+        if self.metrics is not None and not self.metrics.active:
+            self.metrics.start(self.engine, self._metrics_interval)
+
+    def _obs_disable(self) -> None:
+        """Finish the registry and restore every hook site to NOOP."""
+        if self.tracer is None:
+            return
+        if self.metrics is not None:
+            self.metrics.finish()
+        obs_hooks.disable()
 
     # ------------------------------------------------------------------
     # execution
@@ -111,8 +169,12 @@ class NumaGpuSystem:
             on_kernel_launch=self._on_kernel_launch,
             on_workload_done=self._on_workload_done,
         )
-        self._launcher.begin()
-        self._drain()
+        self._obs_enable()
+        try:
+            self._launcher.begin()
+            self._drain()
+        finally:
+            self._obs_disable()
         assert self._launcher.finished, "engine drained before kernels completed"
         return collect_results(self, workload_name)
 
@@ -155,6 +217,8 @@ class NumaGpuSystem:
             return "link balancers never quiesce"
         if self.record_timelines:
             return "timeline recording keeps periodic samplers scheduled"
+        if self.metrics is not None:
+            return "metric sampler keeps periodic events scheduled"
         return None
 
     def run_prefix(self, kernels: list[KernelWork], pause_after: int) -> None:
@@ -177,8 +241,12 @@ class NumaGpuSystem:
             on_workload_done=self._on_workload_done,
             pause_after=pause_after,
         )
-        self._launcher.begin()
-        self._drain()
+        self._obs_enable()
+        try:
+            self._launcher.begin()
+            self._drain()
+        finally:
+            self._obs_disable()
         assert self._launcher.paused, "engine drained without reaching pause"
 
     def resume(
@@ -204,8 +272,12 @@ class NumaGpuSystem:
             on_workload_done=self._on_workload_done,
         )
         self._launcher.restore_state(launcher_state)
-        self._launcher.begin()
-        self._drain()
+        self._obs_enable()
+        try:
+            self._launcher.begin()
+            self._drain()
+        finally:
+            self._obs_disable()
         assert self._launcher.finished, "engine drained before kernels completed"
         return collect_results(self, workload_name)
 
@@ -221,6 +293,10 @@ class NumaGpuSystem:
             balancer.stop()
         for controller in self.cache_controllers:
             controller.stop()
+        # The metric sampler is a periodic service like the balancers:
+        # it must stop here or the engine would never drain.
+        if self.metrics is not None:
+            self.metrics.stop()
 
     # ------------------------------------------------------------------
     # introspection

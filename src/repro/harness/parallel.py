@@ -38,6 +38,7 @@ Worker count resolution: an explicit ``jobs`` argument wins, then the
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -46,6 +47,7 @@ from repro.core.builder import run_workload_on
 from repro.errors import ExecutionError
 from repro.harness.runner import ExperimentContext
 from repro.metrics.report import RunResult
+from repro.sim.instrumentation import SIM_TALLY
 from repro.workloads.spec import WorkloadScale
 from repro.workloads.suite import get_workload
 
@@ -89,6 +91,36 @@ def _execute_task(task: RunTask, scale: WorkloadScale) -> RunResult:
         task.config, workload, scale,
         record_timelines=task.record_timelines,
     )
+
+
+def _execute_measured(
+    task: RunTask, scale: WorkloadScale,
+) -> "tuple[RunResult, dict]":
+    """:func:`_execute_task` plus a per-task harness telemetry sample.
+
+    The sample carries the task's wall-clock span (``time.monotonic()``,
+    comparable across processes on Linux) and the
+    :data:`~repro.sim.instrumentation.SIM_TALLY` delta the task produced
+    in *this* process. Pool workers ship it back over the supervisor's
+    result pipe so the parent can absorb worker-side run totals and
+    build the study's worker-utilization timeline (see
+    :mod:`repro.harness.supervisor` and DESIGN.md, "Observability
+    contract").
+    """
+    before = (SIM_TALLY.runs, SIM_TALLY.events, SIM_TALLY.cycles,
+              SIM_TALLY.wall_seconds)
+    t_start = time.monotonic()
+    result = _execute_task(task, scale)
+    t_end = time.monotonic()
+    sample = {
+        "t_start": t_start,
+        "t_end": t_end,
+        "runs": SIM_TALLY.runs - before[0],
+        "events": SIM_TALLY.events - before[1],
+        "cycles": SIM_TALLY.cycles - before[2],
+        "sim_wall_seconds": SIM_TALLY.wall_seconds - before[3],
+    }
+    return result, sample
 
 
 def _stub_result(workload_name: str, config: SystemConfig) -> RunResult:

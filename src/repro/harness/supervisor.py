@@ -67,6 +67,7 @@ from repro.config import (
 from repro.errors import ExecutionError
 from repro.harness import faults
 from repro.harness.formatting import format_table
+from repro.sim.instrumentation import SIM_TALLY
 from repro.workloads.spec import WorkloadScale
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -161,6 +162,10 @@ class FailureReport:
     unfinished: list[str] = field(default_factory=list)
     #: disk-cache counters (hits/misses/corrupt/put_errors), if attached.
     cache: dict | None = None
+    #: harness telemetry: per-worker task spans (wall clock) and tally
+    #: deltas plus cross-process totals (see DESIGN.md, "Observability
+    #: contract"). Populated by run_supervised in both modes.
+    telemetry: dict | None = None
 
     @property
     def failed(self) -> list[TaskReport]:
@@ -253,12 +258,62 @@ class FailureReport:
             "tasks": [asdict(task) for task in self.tasks],
             "unfinished": list(self.unfinished),
             "cache": self.cache,
+            "telemetry": self.telemetry,
         }
 
     def write_json(self, path: str | Path) -> Path:
         path = Path(path)
         path.write_text(json.dumps(self.to_json_dict(), indent=1) + "\n")
         return path
+
+
+# ---------------------------------------------------------------------------
+# harness telemetry
+# ---------------------------------------------------------------------------
+def _new_telemetry(mode: str) -> dict:
+    """Empty telemetry record for one supervised run (``serial``/``pool``)."""
+    return {
+        "mode": mode,
+        "workers": {},
+        "totals": {"runs": 0, "events": 0, "cycles": 0, "wall_seconds": 0.0},
+    }
+
+
+def _record_telemetry(telemetry: dict, worker_id: str, key: str,
+                      sample: dict) -> None:
+    """Fold one task's measured sample into the run telemetry.
+
+    ``sample`` is the dict produced by
+    :func:`repro.harness.parallel._execute_measured`: the task's
+    ``time.monotonic()`` span plus the SIM_TALLY delta it produced in
+    its executing process. Per-task ``wall_seconds`` here is the *engine
+    drain* wall clock (the RunTally semantics), while ``t_start`` /
+    ``t_end`` bound the whole task including system construction.
+    """
+    workers = telemetry["workers"]
+    record = workers.get(worker_id)
+    if record is None:
+        record = workers[worker_id] = {
+            "tasks": [],
+            "tally": {"runs": 0, "events": 0, "cycles": 0,
+                      "wall_seconds": 0.0},
+        }
+    record["tasks"].append({
+        "key": key,
+        "t_start": sample["t_start"],
+        "t_end": sample["t_end"],
+        "runs": sample["runs"],
+        "events": sample["events"],
+        "cycles": sample["cycles"],
+        "wall_seconds": sample["sim_wall_seconds"],
+    })
+    tally = record["tally"]
+    totals = telemetry["totals"]
+    for name in ("runs", "events", "cycles"):
+        tally[name] += sample[name]
+        totals[name] += sample[name]
+    tally["wall_seconds"] += sample["sim_wall_seconds"]
+    totals["wall_seconds"] += sample["sim_wall_seconds"]
 
 
 # ---------------------------------------------------------------------------
@@ -454,7 +509,7 @@ def _run_serial(states: list[_TaskState], scale: WorkloadScale,
                 merge: Callable[["RunTask", "RunResult"], None],
                 progress: Callable[[int, int], None] | None,
                 interrupt: _InterruptFlag) -> None:
-    from repro.harness.parallel import _execute_task
+    from repro.harness.parallel import _execute_measured
 
     total = len(states)
     done_count = 0
@@ -469,7 +524,7 @@ def _run_serial(states: list[_TaskState], scale: WorkloadScale,
                         state.key, state.index, state.next_attempt,
                         in_process=True,
                     )
-                    result = _execute_task(state.task, scale)
+                    result, sample = _execute_measured(state.task, scale)
             except faults.InjectedCrash as error:
                 exhausted = _record_failure(
                     state, "crash", f"{type(error).__name__}: {error}",
@@ -489,6 +544,10 @@ def _run_serial(states: list[_TaskState], scale: WorkloadScale,
             else:
                 _record_success(state)
                 merge(state.task, result)
+                # Serial runs execute in-process, so SIM_TALLY already
+                # counted this task — record telemetry, never absorb.
+                _record_telemetry(report.telemetry, "serial", state.key,
+                                  sample)
                 done_count += 1
                 if progress is not None:
                     progress(done_count, total)
@@ -513,8 +572,12 @@ def _worker_main(conn, scale: WorkloadScale) -> None:
     fault injection runs here, inside the real worker process, before
     the simulation starts — an injected crash takes the whole process
     down exactly like a genuine OOM kill would.
+
+    An ``ok`` reply's payload is ``(result, sample)``: the RunResult
+    plus the task's telemetry sample (wall-clock span and this process's
+    SIM_TALLY delta), which the parent absorbs into its own tally.
     """
-    from repro.harness.parallel import _execute_task
+    from repro.harness.parallel import _execute_measured
 
     while True:
         try:
@@ -527,7 +590,7 @@ def _worker_main(conn, scale: WorkloadScale) -> None:
         key, index, attempt, task = message
         try:
             faults.inject_task_fault(key, index, attempt)
-            result = _execute_task(task, scale)
+            result, sample = _execute_measured(task, scale)
         except Exception as error:  # noqa: BLE001 - isolate every failure
             try:
                 conn.send(("error", key, attempt,
@@ -536,7 +599,7 @@ def _worker_main(conn, scale: WorkloadScale) -> None:
                 return
         else:
             try:
-                conn.send(("ok", key, attempt, result))
+                conn.send(("ok", key, attempt, (result, sample)))
             except (BrokenPipeError, OSError):
                 return
 
@@ -670,7 +733,16 @@ def _run_pool(states: list[_TaskState], scale: WorkloadScale, jobs: int,
                 worker.clear()
                 if kind == "ok":
                     _record_success(state)
-                    merge(state.task, payload)
+                    result, sample = payload
+                    merge(state.task, result)
+                    _record_telemetry(report.telemetry, worker.proc.name,
+                                      state.key, sample)
+                    # The worker counted this run in its own process's
+                    # SIM_TALLY; fold the delta into the parent tally so
+                    # a parallel suite's tally covers every process.
+                    SIM_TALLY.absorb(sample["runs"], sample["events"],
+                                     sample["cycles"],
+                                     sample["sim_wall_seconds"])
                     done_count += 1
                     if progress is not None:
                         progress(done_count, total)
@@ -755,10 +827,12 @@ def run_supervised(
         for i, task in enumerate(tasks)
     ]
     report = FailureReport(policy=policy, total=len(states))
+    serial = jobs <= 1 or len(states) == 1
+    report.telemetry = _new_telemetry("serial" if serial else "pool")
     if not states:
         return report
     with _interrupt_guard() as interrupt:
-        if jobs <= 1 or len(states) == 1:
+        if serial:
             _run_serial(states, scale, policy, report, merge, progress,
                         interrupt)
         else:

@@ -27,9 +27,17 @@ import enum
 
 from repro.config import LinkConfig
 from repro.errors import InterconnectError, SnapshotError
+from repro.obs.hooks import NOOP, register
 from repro.sim.engine import Engine
 from repro.sim.resource import BandwidthResource, UtilizationWindow
 from repro.sim.stats import StatGroup, flatten_slots
+
+# Observability hook points (repro.obs.hooks): lane reversals and the
+# kernel-launch symmetric resets, as instants on the trace timeline.
+_obs_lane_turn = NOOP
+_obs_lane_reset = NOOP
+register(__name__, "_obs_lane_turn", "lane_turn")
+register(__name__, "_obs_lane_reset", "lane_reset")
 
 
 class Direction(enum.Enum):
@@ -226,6 +234,7 @@ class DuplexLink:
         # cannot represent rate 0; it is unreachable until a lane returns.
         self.n_lane_turns += 1
         self._pending_turns += 1
+        _obs_lane_turn(self.label, toward.value, self.engine.now)
         self.engine.schedule(switch_time, self._commit_turn, toward)
 
     def _commit_turn(self, toward: Direction) -> None:
@@ -260,6 +269,7 @@ class DuplexLink:
         self._res_egress.set_rate(rate)
         self._res_ingress.set_rate(rate)
         self.n_symmetric_resets += 1
+        _obs_lane_reset(self.label, self.engine.now)
 
     # ------------------------------------------------------------------
     # snapshot / restore (DESIGN.md, "Snapshot & resume contract")

@@ -14,8 +14,14 @@ from repro.errors import InterconnectError
 from repro.interconnect.link import Direction, DuplexLink
 from repro.interconnect.packets import PacketKind, packet_bytes
 from repro.locality.distance import DistanceModel
+from repro.obs.hooks import NOOP, register
 from repro.sim.engine import Engine
 from repro.sim.stats import StatGroup, flatten_slots
+
+# Observability hook point (repro.obs.hooks): one event per crossbar
+# packet (always two hops: source egress + destination ingress).
+_obs_fabric_send = NOOP
+register(__name__, "_obs_fabric_send", "fabric_send")
 
 
 class Switch:
@@ -115,6 +121,7 @@ class Switch:
         arrival = (whole if whole == next_free else whole + 1) + half_latency
         self.n_packets += 1
         self.n_bytes += nbytes
+        _obs_fabric_send(src, dst, nbytes, now, arrival, 2)
         return arrival
 
     def link(self, socket_id: int) -> DuplexLink:

@@ -162,6 +162,40 @@ def result_from_json_dict(data: dict) -> RunResult:
     )
 
 
+def registry_to_json_dict(registry) -> dict:
+    """Lossless JSON form of a :class:`repro.obs.metrics.MetricRegistry`.
+
+    Counters are end-of-run totals; every gauge's sampled ``TimeSeries``
+    is emitted in full (times and values), so
+    :func:`registry_from_json_dict` reconstructs equal data. Kept here
+    with the other exporters so flattening logic stays in one tested
+    place.
+    """
+    return registry.to_dict()
+
+
+def registry_from_json_dict(data: dict) -> dict:
+    """Inverse of :func:`registry_to_json_dict`.
+
+    Returns ``{"counters": {name: int}, "series": {name: TimeSeries}}``
+    — the registry's sampled data without its (unpicklable) reader
+    callables.
+    """
+    return {
+        "counters": {
+            name: int(value) for name, value in data["counters"].items()
+        },
+        "series": {
+            name: TimeSeries(
+                name=name,
+                times=[int(t) for t in payload["times"]],
+                values=[float(v) for v in payload["values"]],
+            )
+            for name, payload in data["series"].items()
+        },
+    }
+
+
 def read_csv(path: str | Path) -> list[dict]:
     """Read back a CSV written by :func:`write_csv` with typed fields."""
     path = Path(path)

@@ -44,14 +44,32 @@ def bin_series(series: TimeSeries, window: int, end_time: int) -> UtilizationPro
 
     Samples are treated as the mean utilization since the previous sample,
     which is exactly what :class:`UtilizationWindow` produces.
+
+    Defined edge semantics:
+
+    * ``end_time == 0`` derives the covered span from the samples (last
+      sample time + 1), so a profile of an untimed series keeps every
+      sample in its natural bin instead of collapsing into one. An empty
+      series yields a single empty bin.
+    * ``end_time < 0`` raises :class:`ValueError`.
+    * Binning is order-independent — each sample lands in the bin its
+      timestamp selects — so manually built, unsorted series bin
+      identically to sorted ones. Samples outside ``[0, end_time)``
+      clamp into the first/last bin.
     """
     if window <= 0:
         raise ValueError("window must be positive")
+    if end_time < 0:
+        raise ValueError(f"end_time must be >= 0, got {end_time}")
+    if end_time == 0 and series.times:
+        end_time = max(series.times) + 1
     n_bins = max(1, (end_time + window - 1) // window)
     sums = [0.0] * n_bins
     counts = [0] * n_bins
+    last = n_bins - 1
     for time, value in zip(series.times, series.values):
-        idx = min(time // window, n_bins - 1)
+        idx = time // window
+        idx = 0 if idx < 0 else (last if idx > last else idx)
         sums[idx] += value
         counts[idx] += 1
     times = [i * window for i in range(n_bins)]
@@ -66,11 +84,24 @@ def asymmetry_score(egress: UtilizationProfile, ingress: UtilizationProfile) -> 
 
     High scores indicate the one-direction-saturated phases that dynamic
     lane reversal exploits; Figure 5's HPC-HPGMG-UVM profile scores high.
+
+    The two profiles must share a window size (:class:`ValueError`
+    otherwise — comparing differently binned profiles is meaningless).
+    Length mismatches are defined: the shorter profile is treated as
+    idle (0.0 utilization) over the windows it is missing, so a
+    direction that stopped sampling early still contributes its full
+    one-sided gap instead of silently truncating the comparison.
     """
-    n = min(len(egress.utilization), len(ingress.utilization))
+    if egress.window != ingress.window:
+        raise ValueError(
+            f"window mismatch: {egress.window} vs {ingress.window}"
+        )
+    n = max(len(egress.utilization), len(ingress.utilization))
     if n == 0:
         return 0.0
-    gap = sum(
-        abs(egress.utilization[i] - ingress.utilization[i]) for i in range(n)
-    )
+    gap = 0.0
+    for i in range(n):
+        e = egress.utilization[i] if i < len(egress.utilization) else 0.0
+        g = ingress.utilization[i] if i < len(ingress.utilization) else 0.0
+        gap += abs(e - g)
     return gap / n

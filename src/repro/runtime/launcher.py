@@ -26,9 +26,17 @@ from typing import Callable
 from repro.errors import SnapshotError
 from repro.gpu.socket import GpuSocket
 from repro.locality.cta import resolve_cta_policy
+from repro.obs.hooks import NOOP, register
 from repro.runtime.kernel import KernelWork
 from repro.sim.engine import Engine
 from repro.sim.stats import StatGroup
+
+# Observability hook points (repro.obs.hooks): per-socket kernel spans
+# open at launch and close at each socket's sub-kernel barrier.
+_obs_kernel_launch = NOOP
+_obs_subkernel_done = NOOP
+register(__name__, "_obs_kernel_launch", "kernel_launch")
+register(__name__, "_obs_subkernel_done", "subkernel_done")
 
 
 class Launcher:
@@ -122,6 +130,7 @@ class Launcher:
             if block
         ]
         self._sockets_pending = len(populated)
+        _obs_kernel_launch(self._kernel_idx, kernel.name, self.engine.now, populated)
         if not populated:
             if self._kernel_idx + 1 == self.pause_after:
                 self._paused = True
@@ -133,6 +142,7 @@ class Launcher:
             socket.start_subkernel(ctas, self._subkernel_done)
 
     def _subkernel_done(self, socket_id: int) -> None:
+        _obs_subkernel_done(socket_id, self.engine.now)
         self._sockets_pending -= 1
         if self._sockets_pending == 0:
             self.stats.add("kernels_completed")

@@ -7,10 +7,12 @@ perf numbers (``BENCH_hotpath.json``), and the CI perf smoke asserts the
 resulting events/sec stays above a recorded floor.
 
 The tally is deliberately trivial — module-level, no locks — because
-simulations are single-threaded within a process and parallel harness
-workers each tally their own process (the parent's tally then only
-reflects parent-side runs, which is exactly what a local perf probe
-wants).
+simulations are single-threaded within a process. Parallel harness
+workers each tally their own process; the supervisor ships every
+worker's per-task tally delta back over its result pipe and
+:meth:`RunTally.absorb`-s it into the parent tally, so a parallel
+suite's tally reflects *all* processes, not just parent-side runs
+(see :mod:`repro.harness.supervisor`).
 """
 
 from __future__ import annotations
@@ -30,6 +32,19 @@ class RunTally:
     def record(self, events: int, cycles: int, wall_seconds: float) -> None:
         """Add one finished simulation's totals."""
         self.runs += 1
+        self.events += events
+        self.cycles += cycles
+        self.wall_seconds += wall_seconds
+
+    def absorb(self, runs: int, events: int, cycles: int,
+               wall_seconds: float) -> None:
+        """Fold another process's already-counted totals into this tally.
+
+        Unlike :meth:`record` (one finished simulation), ``absorb`` adds
+        a remote tally delta verbatim — the supervisor uses it to merge
+        worker-side run totals into the parent process's tally.
+        """
+        self.runs += runs
         self.events += events
         self.cycles += cycles
         self.wall_seconds += wall_seconds

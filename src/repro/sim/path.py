@@ -82,6 +82,22 @@ from heapq import heappush
 
 from repro.interconnect.packets import CONTROL_BYTES, DATA_BYTES
 from repro.memory.cache import NumaClass
+from repro.obs.hooks import NOOP, register
+
+# Observability hook points (repro.obs.hooks): bare module globals,
+# rebound to tracer handlers at enable time. The disabled path is one
+# LOAD_GLOBAL + no-op call per stage — no branch, no attribute chain
+# (the obs-hook-discipline lint rule pins this shape in hot bodies).
+_obs_read_begin = NOOP
+_obs_read_hop = NOOP
+_obs_read_end = NOOP
+_obs_write_begin = NOOP
+_obs_write_end = NOOP
+register(__name__, "_obs_read_begin", "read_begin")
+register(__name__, "_obs_read_hop", "read_hop")
+register(__name__, "_obs_read_end", "read_end")
+register(__name__, "_obs_write_begin", "write_begin")
+register(__name__, "_obs_write_end", "write_end")
 
 #: NumaClass instances indexed by the walkers' int class tag.
 _CLASSES = (NumaClass.LOCAL, NumaClass.REMOTE)
@@ -180,6 +196,7 @@ class ReadPath:
     # ------------------------------------------------------------------
     def _stage_l2(self) -> None:
         """Requester-side L2 probe (stepwise ``_read_at_l2``)."""
+        _obs_read_begin(self)
         s = self.socket
         line = self.line
         cls = self.cls
@@ -277,6 +294,7 @@ class ReadPath:
 
     def _stage_serve(self) -> None:
         """Home-side service of the request (stepwise ``_serve_remote_read``)."""
+        _obs_read_hop(self, "serve")
         h = self.home
         h.n_remote_reads_served += 1
         # Inlined h.l2.lookup(line) — read probe, identical counters.
@@ -364,6 +382,7 @@ class ReadPath:
 
     def _stage_reply(self) -> None:
         """Response back at the requester (stepwise ``_remote_read_response``)."""
+        _obs_read_hop(self, "reply")
         if self.holds_remote:
             packed = self.l2_fill(self.line, 1)
             if packed >= 0:
@@ -372,6 +391,7 @@ class ReadPath:
 
     def _stage_complete(self) -> None:
         """Fill waiter L1s and fire callbacks (stepwise ``_complete_read``)."""
+        _obs_read_end(self)
         line = self.line
         cls = self.cls
         waiters = self.pending_pop(line, None)
@@ -460,6 +480,7 @@ class WritePath:
 
     def _stage_l2(self) -> None:
         """Write arrives at the requester L2 (stepwise ``_write_at_l2``)."""
+        _obs_write_begin(self)
         s = self.socket
         line = self.line
         engine = self.engine
@@ -493,6 +514,7 @@ class WritePath:
                 self.dram.access(engine.now, self.line_size, write=True)
             on_done = self.on_done
             self.on_done = None
+            _obs_write_end(self, engine.now + self.l2_lat)
             self.pool.append(self)
             t = engine.now + self.l2_lat
             buckets = self.buckets
@@ -529,6 +551,7 @@ class WritePath:
                     self.charge(packed)
             on_done = self.on_done
             self.on_done = None
+            _obs_write_end(self, engine.now + self.l2_lat)
             self.pool.append(self)
             t = engine.now + self.l2_lat
             buckets = self.buckets
@@ -593,6 +616,7 @@ class WritePath:
         )
         on_done = self.on_done
         self.on_done = None
+        _obs_write_end(self, arrival)
         self.pool.append(self)
         buckets = self.buckets
         bucket = buckets.get(arrival)

@@ -41,10 +41,16 @@ from repro.interconnect.packets import PacketKind, packet_bytes
 from repro.interconnect.switch import Switch
 from repro.locality.distance import DistanceModel
 from repro.metrics.report import EdgeStats
+from repro.obs.hooks import NOOP, register
 from repro.sim.engine import Engine
 from repro.sim.stats import StatGroup, flatten_slots
 from repro.topology.routing import compute_routes
 from repro.topology.spec import TopologySpec
+
+# Observability hook point (repro.obs.hooks): one event per routed
+# fabric packet, with the route's real hop count.
+_obs_fabric_send = NOOP
+register(__name__, "_obs_fabric_send", "fabric_send")
 
 
 class EdgeLink(DuplexLink):
@@ -287,7 +293,9 @@ class MultiHopFabric:
             t = admit(t, nbytes)
         self.n_packets += 1
         self.n_bytes += nbytes
-        self._hop_hist[self._route_hops[src][dst]] += 1
+        hops = self._route_hops[src][dst]
+        self._hop_hist[hops] += 1
+        _obs_fabric_send(src, dst, nbytes, now, t, hops)
         return t
 
     # ------------------------------------------------------------------

@@ -44,15 +44,76 @@ def test_experiment_command_cache_dir(tmp_path, capsys):
     assert "Table 1" in capsys.readouterr().out
 
 
-def test_trace_command(tmp_path, capsys):
+def test_trace_workload_command(tmp_path, capsys):
     out_file = tmp_path / "sp.trace"
-    code = main(["trace", "Lonestar-SP", str(out_file), "--scale", "tiny"])
+    code = main(["trace", "workload", "Lonestar-SP", str(out_file),
+                 "--scale", "tiny"])
     assert code == 0
     assert out_file.exists()
     assert "recorded" in capsys.readouterr().out
     from repro.workloads.trace import load_trace
 
     assert load_trace(out_file).workload == "Lonestar-SP"
+
+
+def test_trace_run_command(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "run.trace.json"
+    code = main(["trace", "run", "Rodinia-BFS", str(out_file),
+                 "--scale", "tiny"])
+    assert code == 0
+    assert "kernel spans" in capsys.readouterr().out
+    from repro.obs.chrome import validate_chrome_trace
+
+    payload = json.loads(out_file.read_text())
+    validate_chrome_trace(payload)
+    assert any(e.get("cat") == "kernel" for e in payload["traceEvents"])
+
+
+def test_run_command_trace_flag(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "bfs.trace.json"
+    code = main(["run", "Rodinia-BFS", "--scale", "tiny",
+                 "--trace", str(out_file)])
+    assert code == 0
+    assert "trace" in capsys.readouterr().out
+    from repro.obs.chrome import validate_chrome_trace
+
+    validate_chrome_trace(json.loads(out_file.read_text()))
+
+
+def test_trace_study_command(tmp_path, capsys):
+    import json
+
+    from repro.config import scaled_config
+    from repro.harness.parallel import RunTask
+    from repro.harness.supervisor import RetryPolicy, run_supervised
+    from repro.workloads.spec import TINY
+
+    report = run_supervised(
+        [RunTask("Rodinia-BFS", scaled_config())], TINY, 1,
+        RetryPolicy(), lambda task, result: None,
+    )
+    study = tmp_path / "study.json"
+    study.write_text(json.dumps({"telemetry": report.telemetry}))
+    out_file = tmp_path / "study.trace.json"
+    assert main(["trace", "study", str(study), str(out_file)]) == 0
+    assert "task spans" in capsys.readouterr().out
+    from repro.obs.chrome import validate_chrome_trace
+
+    validate_chrome_trace(json.loads(out_file.read_text()))
+
+
+def test_trace_study_command_rejects_missing_telemetry(tmp_path, capsys):
+    import json
+
+    study = tmp_path / "bare.json"
+    study.write_text(json.dumps({"figure3": {}}))
+    out_file = tmp_path / "out.json"
+    assert main(["trace", "study", str(study), str(out_file)]) == 2
+    assert "telemetry" in capsys.readouterr().err
 
 
 def test_every_experiment_is_registered():

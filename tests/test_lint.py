@@ -280,6 +280,65 @@ def test_hot_registry_names_real_paths():
 
 
 # ----------------------------------------------------------------------
+# obs hook discipline
+# ----------------------------------------------------------------------
+def test_obs_attribute_chain_hook_is_flagged(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "class Walker:\n"
+        "    def drain(self, items):  # repro-lint: hot\n"
+        "        for item in items:\n"
+        "            self.tracer.on_read(item)\n"
+        "        return len(items)\n"
+    )
+    findings = _lint(tmp_path, rules=("obs-hook-discipline",))
+    assert len(findings) == 1
+    assert "attribute chain 'self.tracer.on_read'" in findings[0].message
+    assert findings[0].symbol == "Walker.drain"
+
+
+def test_obs_tracer_conditional_guard_is_flagged(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "def drain(items, tracer):  # repro-lint: hot\n"
+        "    total = 0\n"
+        "    for item in items:\n"
+        "        if tracer is not None:\n"
+        "            _obs_read(item)\n"
+        "        total += item\n"
+        "    return total\n"
+    )
+    findings = _lint(tmp_path, rules=("obs-hook-discipline",))
+    assert len(findings) == 1
+    assert "conditional on 'tracer'" in findings[0].message
+
+
+def test_obs_prebound_noop_call_is_clean(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "from repro.obs.hooks import NOOP\n"
+        "_obs_read = NOOP\n"
+        "\n"
+        "def drain(items):  # repro-lint: hot\n"
+        "    total = 0\n"
+        "    for item in items:\n"
+        "        _obs_read(item)\n"
+        "        total += item\n"
+        "    return total\n"
+    )
+    assert _lint(tmp_path, rules=("obs-hook-discipline",)) == []
+
+
+def test_obs_cold_function_is_not_checked(tmp_path):
+    # Outside the declared hot set the attribute-chain form is fine —
+    # enable()/disable() and tracer methods are the normal cold-path API.
+    (tmp_path / "mod.py").write_text(
+        "def report(tracer):\n"
+        "    if tracer is not None:\n"
+        "        tracer.on_read(0)\n"
+        "    return 1\n"
+    )
+    assert _lint(tmp_path, rules=("obs-hook-discipline",)) == []
+
+
+# ----------------------------------------------------------------------
 # export round-trip
 # ----------------------------------------------------------------------
 _FIXTURE_RESULT = (
@@ -600,7 +659,7 @@ def test_lint_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for rule, _ in all_rules():
         assert rule in out
-    assert len(all_rules()) == 7
+    assert len(all_rules()) == 8
 
 
 def test_lint_cli_unknown_rule_is_usage_error(tmp_path, capsys):

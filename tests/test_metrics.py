@@ -138,3 +138,61 @@ def test_asymmetry_score():
 def test_asymmetry_score_empty():
     empty = bin_series(series([]), 100, 0)
     assert asymmetry_score(empty, empty) >= 0.0
+
+
+def test_bin_series_rejects_negative_end_time():
+    with pytest.raises(ValueError):
+        bin_series(series([(10, 1.0)]), window=100, end_time=-1)
+
+
+def test_bin_series_zero_end_time_derives_span_from_samples():
+    # end_time=0 must not collapse everything into one bin: the span is
+    # derived from the last sample, keeping each sample in its own bin.
+    ts = series([(10, 1.0), (110, 0.5)])
+    profile = bin_series(ts, window=100, end_time=0)
+    assert profile.times == [0, 100]
+    assert profile.utilization == [pytest.approx(1.0), pytest.approx(0.5)]
+
+
+def test_bin_series_zero_end_time_empty_series():
+    profile = bin_series(series([]), window=100, end_time=0)
+    assert profile.times == [0]
+    assert profile.utilization == [0.0]
+
+
+def test_bin_series_is_order_independent():
+    # A manually built (unsorted) series bins identically to its sorted
+    # twin: samples land in the bin their timestamp selects.
+    ts = TimeSeries("s")
+    ts.times = [110, 10, 20]
+    ts.values = [0.5, 1.0, 0.0]
+    unsorted_profile = bin_series(ts, window=100, end_time=200)
+    sorted_profile = bin_series(
+        series([(10, 1.0), (20, 0.0), (110, 0.5)]), window=100, end_time=200
+    )
+    assert unsorted_profile.utilization == sorted_profile.utilization
+    assert unsorted_profile.times == sorted_profile.times
+
+
+def test_bin_series_clamps_out_of_range_samples():
+    ts = TimeSeries("s")
+    ts.times = [-50, 500]
+    ts.values = [1.0, 0.5]
+    profile = bin_series(ts, window=100, end_time=200)
+    assert profile.utilization == [pytest.approx(1.0), pytest.approx(0.5)]
+
+
+def test_asymmetry_score_pads_shorter_profile_with_idle():
+    egress = bin_series(series([(10, 1.0), (110, 1.0)]), 100, 200)
+    ingress = bin_series(series([(10, 0.0)]), 100, 100)
+    # Windows the shorter profile is missing count as idle (0.0), so the
+    # saturated second egress window contributes its full gap.
+    assert asymmetry_score(egress, ingress) == pytest.approx(1.0)
+    assert asymmetry_score(ingress, egress) == pytest.approx(1.0)
+
+
+def test_asymmetry_score_rejects_window_mismatch():
+    egress = bin_series(series([(10, 1.0)]), 100, 200)
+    ingress = bin_series(series([(10, 1.0)]), 50, 200)
+    with pytest.raises(ValueError):
+        asymmetry_score(egress, ingress)
