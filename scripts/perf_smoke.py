@@ -18,7 +18,15 @@ throughput against ``BENCH_hotpath.json`` at the repo root, two ways:
   ``events_per_second`` key is the benchmark suite's own series, written
   by ``benchmarks/conftest.py`` over a different simulation mix.)
 
-Measurement protocol: the probe mix is executed ``--repeats`` times and
+Two legs run under the gate: the crossbar probe mix and a *multi-hop*
+leg (the same workloads on a 4-socket ring fabric), each with its own
+floor (``multihop_events_per_second_floor``), gate reference
+(``multihop_probe_events_per_second``), and history series (``source``:
+``"multihop-probe"``) — so a regression confined to the routed hop
+programs of ``repro.topology.fabric`` cannot hide behind a healthy
+crossbar number.
+
+Measurement protocol: each probe mix is executed ``--repeats`` times and
 each simulation's *minimum* wall-clock across rounds is kept (the
 standard best-of-N benchmark discipline — the minimum estimates the
 code's cost with the least scheduler/frequency noise; events per run are
@@ -74,30 +82,33 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 PROBE_WORKLOADS = ("Rodinia-BFS", "Rodinia-Hotspot", "ML-AlexNet-cudnn-Lev2")
 PROBE_ARCHES = (CacheArch.MEM_SIDE, CacheArch.NUMA_AWARE)
 
+#: The multi-hop probe leg: the same three behaviour profiles on one
+#: routed fabric, so the hop programs of ``repro.topology.fabric`` (not
+#: just the crossbar fast path) sit under the throughput gate. A
+#: 4-socket ring is the smallest shape with >1-hop routes in every
+#: routing table.
+MULTIHOP_TOPOLOGY = "ring"
+MULTIHOP_SOCKETS = 4
 
-def measure(scale: str = "tiny", repeats: int = 3) -> dict:
-    """Run the probe mix ``repeats`` times; return the best-of summary.
 
-    Per (workload, arch) cell the minimum engine-drain wall across
-    rounds is kept; event counts are deterministic and asserted equal
-    across rounds.
+def _measure_cells(cells: list, scale: str, repeats: int) -> dict:
+    """Best-of-``repeats`` measurement over ``(name, config)`` cells.
+
+    Per cell the minimum engine-drain wall across rounds is kept; event
+    counts are deterministic and asserted equal across rounds.
     """
-    ctx = ExperimentContext(scale=SCALES[scale])
-    cells = [
-        (name, arch) for name in PROBE_WORKLOADS for arch in PROBE_ARCHES
-    ]
     events: list[int] = [0] * len(cells)
     cycles: list[int] = [0] * len(cells)
     best_wall: list[float] = [float("inf")] * len(cells)
     for _ in range(max(1, repeats)):
-        for idx, (name, arch) in enumerate(cells):
+        for idx, (name, config) in enumerate(cells):
             workload = get_workload(name)
             SIM_TALLY.reset()
-            run_workload_on(ctx.config_cache(arch), workload, SCALES[scale])
+            run_workload_on(config, workload, SCALES[scale])
             snap = SIM_TALLY.snapshot()
             if events[idx] and snap["events"] != events[idx]:
                 raise AssertionError(
-                    f"{name}/{arch.value}: nondeterministic event count "
+                    f"{name}: nondeterministic event count "
                     f"({snap['events']} != {events[idx]})"
                 )
             events[idx] = snap["events"]
@@ -119,17 +130,47 @@ def measure(scale: str = "tiny", repeats: int = 3) -> dict:
     }
 
 
-def append_history(record: dict, label: str, set_gate: bool = False) -> None:
+def measure(scale: str = "tiny", repeats: int = 3) -> dict:
+    """Run the crossbar probe mix; return the best-of summary."""
+    ctx = ExperimentContext(scale=SCALES[scale])
+    cells = [
+        (name, ctx.config_cache(arch))
+        for name in PROBE_WORKLOADS
+        for arch in PROBE_ARCHES
+    ]
+    return _measure_cells(cells, scale, repeats)
+
+
+def measure_multihop(scale: str = "tiny", repeats: int = 3) -> dict:
+    """Run the probe workloads on the multi-hop fabric leg."""
+    ctx = ExperimentContext(scale=SCALES[scale])
+    config = ctx.config_topology(
+        MULTIHOP_TOPOLOGY, n_sockets=MULTIHOP_SOCKETS
+    )
+    cells = [(name, config) for name in PROBE_WORKLOADS]
+    record = _measure_cells(cells, scale, repeats)
+    record["topology"] = f"{MULTIHOP_TOPOLOGY}-{MULTIHOP_SOCKETS}"
+    return record
+
+
+def append_history(
+    record: dict,
+    label: str,
+    set_gate: bool = False,
+    source: str = "probe",
+    gate_key: str = "probe_events_per_second",
+) -> None:
     """Append one measurement to BENCH_hotpath.json's ``history`` list.
 
-    The gate reference ``probe_events_per_second`` is updated only when
-    ``set_gate`` is requested *and* the measurement used the tiny probe:
-    the reference is deliberately recorded conservatively for the
-    slowest machine class running the gate, so routine history
-    recordings on a fast dev box must not clobber (and thereby break)
-    the CI gate, and a slow-laptop recording must not silently loosen
-    it. The probe series is in any case kept separate from the
-    bench-suite series the benchmark conftest records under
+    The gate reference (``probe_events_per_second`` for the crossbar
+    probe, ``multihop_probe_events_per_second`` for the fabric leg) is
+    updated only when ``set_gate`` is requested *and* the measurement
+    used the tiny probe: the reference is deliberately recorded
+    conservatively for the slowest machine class running the gate, so
+    routine history recordings on a fast dev box must not clobber (and
+    thereby break) the CI gate, and a slow-laptop recording must not
+    silently loosen it. The probe series is in any case kept separate
+    from the bench-suite series the benchmark conftest records under
     ``events_per_second`` — different simulation mixes must not gate
     each other.
     """
@@ -140,18 +181,19 @@ def append_history(record: dict, label: str, set_gate: bool = False) -> None:
         except ValueError:
             bench = {}
     history = bench.setdefault("history", [])
-    history.append(
-        {
-            "label": label,
-            "source": "probe",
-            "scale": record["scale"],
-            "events": record["events"],
-            "events_per_second": record["events_per_second"],
-            "recorded_at": time.strftime("%Y-%m-%d"),
-        }
-    )
+    entry = {
+        "label": label,
+        "source": source,
+        "scale": record["scale"],
+        "events": record["events"],
+        "events_per_second": record["events_per_second"],
+        "recorded_at": time.strftime("%Y-%m-%d"),
+    }
+    if "topology" in record:
+        entry["topology"] = record["topology"]
+    history.append(entry)
     if set_gate and record["scale"] == "tiny":
-        bench["probe_events_per_second"] = record["events_per_second"]
+        bench[gate_key] = record["events_per_second"]
     BENCH_PATH.write_text(json.dumps(bench, indent=1, sort_keys=True) + "\n")
 
 
@@ -216,6 +258,8 @@ def main(argv: list[str] | None = None) -> int:
 
     tally = measure(scale=args.scale, repeats=args.repeats)
     print(f"perf smoke: {json.dumps(tally)}")
+    multihop = measure_multihop(scale=args.scale, repeats=args.repeats)
+    print(f"perf smoke (multi-hop): {json.dumps(multihop)}")
     # Snapshot the gate references BEFORE any history rewrite so a
     # recording invocation still gates against the *previous* reference
     # (never against itself).
@@ -225,6 +269,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.append_history:
         append_history(
             tally, args.append_history, set_gate=args.set_gate_reference
+        )
+        append_history(
+            multihop,
+            args.append_history,
+            set_gate=args.set_gate_reference,
+            source="multihop-probe",
+            gate_key="multihop_probe_events_per_second",
         )
         print(f"history += {args.append_history!r} -> {BENCH_PATH.name}")
     if args.report:
@@ -238,25 +289,54 @@ def main(argv: list[str] | None = None) -> int:
     if recorded is None:
         print(f"no {BENCH_PATH.name} found; nothing to assert", file=sys.stderr)
         return 1
-    rate = tally["events_per_second"]
+    failed = _assert_leg(
+        recorded, tally["events_per_second"], args,
+        leg="probe",
+        floor_key="events_per_second_floor",
+        gate_key="probe_events_per_second",
+        source="probe",
+    )
+    failed |= _assert_leg(
+        recorded, multihop["events_per_second"], args,
+        leg="multi-hop probe",
+        floor_key="multihop_events_per_second_floor",
+        gate_key="multihop_probe_events_per_second",
+        source="multihop-probe",
+    )
+    return 1 if failed else 0
+
+
+def _assert_leg(
+    recorded: dict,
+    rate: float,
+    args: argparse.Namespace,
+    leg: str,
+    floor_key: str,
+    gate_key: str,
+    source: str,
+) -> bool:
+    """Gate one probe leg against its recorded floor/reference/history.
+
+    Returns True when any gate failed (messages already printed).
+    """
     failed = False
-    floor = recorded.get("events_per_second_floor")
+    floor = recorded.get(floor_key)
     if not floor:
-        print(f"{BENCH_PATH.name} has no events_per_second_floor", file=sys.stderr)
-        return 1
+        print(f"{BENCH_PATH.name} has no {floor_key}", file=sys.stderr)
+        return True
     if rate < floor:
         print(
-            f"FAIL: {rate:.0f} events/s is below the recorded floor "
-            f"{floor:.0f} — the per-access hot path has regressed",
+            f"FAIL: {leg}: {rate:.0f} events/s is below the recorded "
+            f"floor {floor:.0f} — the per-access hot path has regressed",
             file=sys.stderr,
         )
         failed = True
-    last = recorded.get("probe_events_per_second")
+    last = recorded.get(gate_key)
     if last:
         allowed = last * (1.0 - args.regression_tolerance)
         if rate < allowed:
             print(
-                f"FAIL: {rate:.0f} events/s is >"
+                f"FAIL: {leg}: {rate:.0f} events/s is >"
                 f"{100 * args.regression_tolerance:.0f}% below the last "
                 f"recorded {last:.0f} events/s",
                 file=sys.stderr,
@@ -265,39 +345,38 @@ def main(argv: list[str] | None = None) -> int:
     if args.assert_overhead:
         probes = [
             entry for entry in recorded.get("history", ())
-            if entry.get("source") == "probe"
+            if entry.get("source") == source
             and entry.get("scale") == args.scale
         ]
         if not probes:
             print(
-                f"{BENCH_PATH.name} has no probe history to gate overhead "
-                "against",
+                f"{BENCH_PATH.name} has no {source} history to gate "
+                "overhead against",
                 file=sys.stderr,
             )
-            return 1
+            return True
         window = probes[-4:]
         reference = sum(e["events_per_second"] for e in window) / len(window)
         labels = ", ".join(e["label"] for e in window)
         allowed = reference * (1.0 - args.overhead_tolerance)
         if rate < allowed:
             print(
-                f"FAIL: {rate:.0f} events/s is >"
+                f"FAIL: {leg}: {rate:.0f} events/s is >"
                 f"{100 * args.overhead_tolerance:.0f}% below the recorded "
-                f"probe mean {reference:.0f} ({labels}) — the disabled "
+                f"{source} mean {reference:.0f} ({labels}) — the disabled "
                 "observability hooks are not free",
                 file=sys.stderr,
             )
             failed = True
         else:
             print(
-                f"overhead OK: {rate:.0f} events/s vs probe mean "
+                f"overhead OK: {leg}: {rate:.0f} events/s vs {source} mean "
                 f"{reference:.0f} ({labels}), "
                 f"tolerance {100 * args.overhead_tolerance:.0f}%"
             )
-    if failed:
-        return 1
-    print(f"OK: {rate:.0f} events/s >= floor {floor:.0f}")
-    return 0
+    if not failed:
+        print(f"OK: {leg}: {rate:.0f} events/s >= floor {floor:.0f}")
+    return failed
 
 
 if __name__ == "__main__":

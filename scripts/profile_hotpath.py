@@ -12,7 +12,12 @@ Usage::
     PYTHONPATH=src python scripts/profile_hotpath.py \
         --workload Rodinia-BFS --arch numa_aware --scale tiny \
         --sort cumulative --top 40 --out /tmp/hotpath.prof
+    PYTHONPATH=src python scripts/profile_hotpath.py \
+        --topology ring --sockets 4
 
+``--topology`` profiles the same workload mix on a multi-hop fabric
+(the hop programs of ``repro.topology.fabric``) instead of the
+crossbar cache-arch grid; ``--arch`` is ignored in that mode.
 ``--out`` additionally dumps the raw profile for ``snakeviz``/``pstats``.
 A wall-clock and events/sec summary (profiler overhead included) is
 printed last; for clean throughput numbers use ``scripts/perf_smoke.py``.
@@ -29,6 +34,7 @@ from repro.config import CacheArch
 from repro.core.builder import run_workload_on
 from repro.harness.runner import ExperimentContext
 from repro.sim.instrumentation import SIM_TALLY
+from repro.topology.spec import BUILDERS
 from repro.workloads.spec import SCALES
 from repro.workloads.suite import STUDY_SET, get_workload
 
@@ -48,6 +54,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
     parser.add_argument(
+        "--topology",
+        choices=sorted(BUILDERS),
+        default=None,
+        help="profile on this multi-hop topology (hop programs) instead "
+        "of the cache-arch grid",
+    )
+    parser.add_argument(
+        "--sockets",
+        type=int,
+        default=4,
+        help="socket count for --topology runs (default: 4)",
+    )
+    parser.add_argument(
         "--sort",
         default="tottime",
         help="pstats sort key (tottime, cumulative, ncalls, ...)",
@@ -62,6 +81,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     scale = SCALES[args.scale]
     ctx = ExperimentContext(scale=scale)
+    if args.topology is not None:
+        configs = [ctx.config_topology(args.topology, n_sockets=args.sockets)]
+    else:
+        configs = [ctx.config_cache(arch) for arch in arches]
 
     # Warm imports and the workload registry outside the profile window.
     for name in workloads:
@@ -72,8 +95,8 @@ def main(argv: list[str] | None = None) -> int:
     wall_start = time.perf_counter()
     profiler.enable()
     for name in workloads:
-        for arch in arches:
-            run_workload_on(ctx.config_cache(arch), get_workload(name), scale)
+        for config in configs:
+            run_workload_on(config, get_workload(name), scale)
     profiler.disable()
     wall = time.perf_counter() - wall_start
 

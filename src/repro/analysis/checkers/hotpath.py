@@ -42,10 +42,18 @@ from repro.analysis.core import HOT_MARK_RE, FileContext, LintChecker
 #: These are the paths the BENCH history gates: the fused issue loop,
 #: the pooled miss walkers, the engine drain, and translation.
 HOT_FUNCTIONS: dict[str, tuple[str, ...]] = {
-    "repro/gpu/socket.py": ("GpuSocket.access_burst",),
+    "repro/gpu/socket.py": (
+        "GpuSocket.access_burst",
+        "LocalGpuSocket.access_burst",
+    ),
     "repro/sim/path.py": ("ReadPath.*", "WritePath.*"),
-    "repro/sim/engine.py": ("Engine.run", "Engine._run_unbounded"),
+    "repro/sim/engine.py": (
+        "Engine.run",
+        "Engine._run_unbounded",
+        "Engine._migrate_window",
+    ),
     "repro/memory/page_table.py": ("PageTable.translate",),
+    "repro/topology/fabric.py": ("MultiHopFabric.send_bytes",),
 }
 
 _CONSTRUCTOR_CALLS = frozenset({"list", "dict", "set", "tuple"})

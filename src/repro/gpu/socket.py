@@ -19,23 +19,26 @@ forwarded to the home socket or absorbed dirty into a GPU-side write-back
 L2 depending on the organization.
 
 Hot-path notes (DESIGN.md, "Hot-path architecture" and "Fused miss
-pipeline"): :meth:`GpuSocket.access` runs once per coalesced memory
-operation — millions of times per run — so it consults a per-socket
-``line -> home_socket`` translation cache (registered with the page
-table, which invalidates it on page re-homing) instead of calling
-``PageTable.translate`` per access, and counts statistics in slotted
+pipeline"): :meth:`GpuSocket.access_burst` runs once per coalesced issue
+run — millions of ops per run — so the three per-op dict probes the
+access path used to pay (translation cache, L1 tag store, MSHR table)
+are fused into at most one probe of a per-line access record
+(:class:`_LineRec`): the L1 frame carries a ``home`` hint for hits, the
+record carries the settled translation and the in-flight read walker
+(whose fields double as the MSHR waiter list), and the page table
+invalidates both on page re-homing. Statistics are counted in slotted
 integer attributes flattened into ``stats`` only when that property is
 read. Everything downstream of the L1 runs through the fused miss
 pipeline of :mod:`repro.sim.path`: one pooled walker per in-flight miss
 carries the line through its NoC/L2/link/DRAM hops, each hop at its
 exact stepwise cycle (the determinism contract lives in path.py's module
-docstring).
+docstring). Single-socket systems get :class:`LocalGpuSocket`, a burst
+variant with translation stripped out entirely (see :func:`make_socket`).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush
 from typing import Callable
 
 from repro.config import CacheArch, SystemConfig, WritePolicy
@@ -48,7 +51,7 @@ from repro.memory.coherence import CoherenceDomain, FlushResult
 from repro.memory.dram import DramChannel
 from repro.memory.page_table import PageTable
 from repro.obs.hooks import NOOP, register
-from repro.sim.engine import Engine
+from repro.sim.engine import RING_MASK, RING_SIZE, Engine
 from repro.sim.path import ReadPath, WritePath
 from repro.sim.resource import BandwidthResource
 from repro.sim.stats import StatGroup, flatten_slots
@@ -59,6 +62,33 @@ _obs_burst = NOOP
 register(__name__, "_obs_burst", "burst")
 
 OnDone = Callable[[], None]
+
+
+class _LineRec:
+    """Fused per-line access record (one dict probe instead of three).
+
+    ``home`` is the line's settled home socket, or ``-1`` while the
+    page's placement charge is unsettled (FIRST_TOUCH pages before their
+    claim, and always under dynamic policies, whose touch counters must
+    see every access). ``rp`` is the in-flight :class:`ReadPath` for the
+    line, or ``None`` — the walker's ``w_sm``/``w_cb``/``w_more`` fields
+    *are* the MSHR waiter record, so coalescing a later misser costs two
+    list appends and no allocation. Records whose home never settles are
+    dropped when their fetch completes, keeping the dict bounded for
+    dynamic policies; settled records persist as the translation cache
+    and are invalidated by the page table on re-homing.
+    """
+
+    __slots__ = ("home", "rp")
+
+    def __init__(self) -> None:
+        self.home = -1
+        self.rp = None
+
+
+def _new_waiters() -> list:
+    """Fresh coalesced-waiter list (pool-miss path; recycled after use)."""
+    return []
 
 
 class GpuSocket:
@@ -90,10 +120,9 @@ class GpuSocket:
         "_l1_refills",
         "_read_pool",
         "_write_pool",
+        "_waiter_pool",
         "_stats",
-        "_pending_reads",
-        "_pending_pop",
-        "_xlate",
+        "_lines",
         "_cta_queue",
         "_active_ctas",
         "_subkernel_done_cb",
@@ -185,21 +214,24 @@ class GpuSocket:
         # except under FIRST_TOUCH, where the placement never claims pages
         # on a 1-socket system and therefore bills the first-touch copy on
         # every access; that combination must keep using translate().
+        # make_socket() builds a LocalGpuSocket for exactly this case.
         self._always_local = (
             config.n_sockets == 1
             and not page_table.placement.policy_obj.bills_single_socket_touch
         )
-        # Dynamic placement policies forbid filling the line->home cache:
-        # their re-home decisions count every touch, and a warm cache
-        # would hide exactly the accesses the counters need.
+        # Dynamic placement policies forbid caching settled homes: their
+        # re-home decisions count every touch, and a warm record would
+        # hide exactly the accesses the counters need.
         self._fill_xlate = page_table.cacheable
         # Pre-bound methods for the per-event handlers (one attribute
         # chain saved per call, millions of calls per run). All of these
         # targets are fixed for the socket's lifetime.
         self._l1_refills = tuple(l1.refill for l1 in self._l1s)
-        # Free lists of recycled miss-path walkers (repro.sim.path).
+        # Free lists of recycled miss-path walkers (repro.sim.path) and
+        # of coalesced-waiter lists (flat [sm, cb, sm, cb, ...] pairs).
         self._read_pool: list[ReadPath] = []
         self._write_pool: list[WritePath] = []
+        self._waiter_pool: list[list] = []
         self._stats = StatGroup(f"socket{socket_id}")
         self.n_local_accesses = 0
         self.n_remote_accesses = 0
@@ -217,16 +249,14 @@ class GpuSocket:
         self.n_remote_writebacks = 0
         self.n_flush_remote_writebacks = 0
         self.n_ctas_completed = 0
-        # Socket-level read MSHRs: line -> (sm_index, callback) for a
-        # single outstanding reader (the common case), promoted to a
-        # list of such tuples when later missers coalesce onto the line.
-        self._pending_reads: dict[int, tuple | list] = {}
-        self._pending_pop = self._pending_reads.pop
-        # line -> home-socket translation cache (locality is the int
-        # compare ``home == socket_id``); the page table drops entries
-        # when a page is re-homed (see PageTable.invalidate_page).
-        self._xlate: dict[int, int] = {}
-        page_table.register_line_cache(self._xlate)
+        # Fused per-line access records (translation cache + MSHR table
+        # in one dict; see _LineRec). The page table drops settled homes
+        # when a page is re-homed (PageTable.invalidate_page) and clears
+        # the matching per-frame L1 home hints.
+        self._lines: dict[int, _LineRec] = {}
+        page_table.register_line_cache(self._lines)
+        for l1 in self._l1s:
+            page_table.register_frame_hints(l1._where)
         # Sub-kernel execution state.
         self._cta_queue: deque[tuple[int, list[Slice]]] = deque()
         self._active_ctas = 0
@@ -335,32 +365,38 @@ class GpuSocket:
         the socket's hot state bound to locals, instead of paying one
         Python call per coalesced op. Returns ``(next_op_index,
         async_ops_started)``. Semantically identical to calling
-        :meth:`access` per op: each op performs, in order, translation
-        (cache-assisted), access-class accounting, and the L1
-        probe/downstream handoff. Hit counters are applied once at the
-        end of the burst — no event or callback can observe them
-        mid-burst, because the burst runs inside a single engine event.
+        :meth:`access` per op: each op performs translation
+        (record-assisted), access-class accounting, and the L1
+        probe/downstream handoff; the L1 probe is hoisted first because
+        translation never reads or writes L1 state, so resolving the home
+        afterwards (from the frame hint, then the line record, then
+        ``translate``) issues the exact same ``translate`` call sequence
+        as the probe-translation-first order did. Hit counters are
+        applied once at the end of the burst — no event or callback can
+        observe them mid-burst, because the burst runs inside a single
+        engine event.
 
         Each async op hands off to a pooled :mod:`repro.sim.path` walker
-        that carries the miss through the rest of the hierarchy.
+        that carries the miss through the rest of the hierarchy; the
+        walker itself holds the line's MSHR waiters (see _LineRec).
         """
         l1 = self._l1s[sm_index]
         l1_get = l1._where.get
-        always_local = self._always_local
         fill_xlate = self._fill_xlate
-        xlate_get = self._xlate.get
-        xlate = self._xlate
+        lines = self._lines
+        lines_get = lines.get
         socket_id = self.socket_id
         line_size = self.line_size
-        pending = self._pending_reads
-        pending_get = pending.get
-        translate = self.page_table.translate
+        page_table = self.page_table
+        translate = page_table.translate
+        is_first_touch = page_table.placement.is_first_touch
         noc_latency = self.noc_latency
         engine = self.engine
         now = engine.now
-        buckets = engine._buckets
-        bucket_get = buckets.get
-        times = engine._times
+        ring = engine._ring
+        ovf = engine._overflow_push
+        horizon = now + RING_SIZE
+        n_ring_new = 0
         n_pending = 0
         # NoC server state batched in locals for the whole burst: the NoC
         # is only ever admitted from this loop and only read by stats
@@ -390,39 +426,45 @@ class GpuSocket:
             i += 1
             addr = op.addr
             line = addr // line_size
-            if always_local:
-                home = socket_id
-                is_local = True
-                migration_extra = 0
-            else:
-                home = xlate_get(line)
-                if home is not None:
-                    is_local = home == socket_id
-                    migration_extra = 0
-                else:
-                    home, migration_extra = translate(addr, socket_id, op.is_write)
-                    is_local = home == socket_id
-                    if fill_xlate and (
-                        migration_extra == 0
-                        or not self.page_table.placement.is_first_touch(addr)
-                    ):
-                        # Cache only once the page's charge is settled; see
-                        # the FIRST_TOUCH single-socket caveat in __init__.
-                        # Dynamic policies never fill (fill_xlate False):
-                        # every access must reach the touch counters.
-                        xlate[line] = home
-            if is_local:
-                n_local += 1
-            else:
-                n_remote += 1
             if op.is_write:
                 # Write-through, no-write-allocate L1: update a present
                 # copy (kept clean) and always forward the write
-                # downstream. Inlined l1.lookup(line, write=True) — the
-                # L1 is always write-through, so no dirty bit is set —
-                # then hand to a WritePath walker (NoC serialize inline).
+                # downstream. Home resolution: frame hint, then line
+                # record, then translate (settling the record and hint).
                 way = l1_get(line)
+                migration_extra = 0
+                if way is not None and way.home >= 0:
+                    home = way.home
+                else:
+                    rec = lines_get(line)
+                    if rec is not None and rec.home >= 0:
+                        home = rec.home
+                        if way is not None:
+                            way.home = home
+                    else:
+                        home, migration_extra = translate(addr, socket_id, True)
+                        if fill_xlate and (
+                            migration_extra == 0 or not is_first_touch(addr)
+                        ):
+                            # Record only once the page's charge is
+                            # settled; see the FIRST_TOUCH single-socket
+                            # caveat in __init__. Dynamic policies never
+                            # fill (fill_xlate False): every access must
+                            # reach the touch counters.
+                            if rec is None:
+                                rec = _LineRec()
+                                lines[line] = rec
+                            rec.home = home
+                            if way is not None:
+                                way.home = home
+                is_local = home == socket_id
+                if is_local:
+                    n_local += 1
+                else:
+                    n_remote += 1
                 if way is not None:
+                    # Inlined l1.lookup(line, write=True) recency splice —
+                    # the L1 is always write-through, so no dirty bit.
                     sent = way.sent
                     if way.nxt is not sent:
                         p = way.prev
@@ -451,15 +493,19 @@ class GpuSocket:
                 wp.home_id = home
                 wp.is_local = is_local
                 wp.on_done = on_done
-                # Inlined Engine.schedule_call_at (bucket append).
+                # Inlined Engine.schedule_call_at (calendar-ring insert).
                 t = begin + noc_latency + migration_extra
-                bucket = bucket_get(t)
-                if bucket is None:
-                    # A new time bucket is necessarily a fresh list.
-                    buckets[t] = [wp.st_l2]  # repro-lint: disable=hot-path-alloc
-                    heappush(times, t)
+                if t < horizon:
+                    slot = t & RING_MASK
+                    bucket = ring[slot]
+                    if bucket is None:
+                        # A new time bucket is necessarily a fresh list.
+                        ring[slot] = [wp.st_l2]  # repro-lint: disable=hot-path-alloc
+                        n_ring_new += 1
+                    else:
+                        bucket.append(wp.st_l2)
                 else:
-                    bucket.append(wp.st_l2)
+                    ovf(t, wp.st_l2)
                 n_pending += 1
                 n_async += 1
                 continue
@@ -468,6 +514,25 @@ class GpuSocket:
             # exactly (recency-list touch, hit/miss counters).
             way = l1_get(line)
             if way is not None:
+                home = way.home
+                if home < 0:
+                    # No settled hint on the frame: fall back to the line
+                    # record, then to translate (exactly the translation
+                    # the old probe-first order would have issued).
+                    rec = lines_get(line)
+                    if rec is not None and rec.home >= 0:
+                        home = rec.home
+                        way.home = home
+                    else:
+                        home, migration_extra = translate(addr, socket_id, False)
+                        if fill_xlate and (
+                            migration_extra == 0 or not is_first_touch(addr)
+                        ):
+                            if rec is None:
+                                rec = _LineRec()
+                                lines[line] = rec
+                            rec.home = home
+                            way.home = home
                 sent = way.sent
                 if way.nxt is not sent:
                     p = way.prev
@@ -480,20 +545,51 @@ class GpuSocket:
                     way.nxt = sent
                     sent.prev = way
                 n_hits += 1
+                if home == socket_id:
+                    n_local += 1
+                else:
+                    n_remote += 1
                 continue
+            # Read miss: one record probe covers translation and MSHR.
+            rec = lines_get(line)
+            migration_extra = 0
+            if rec is None:
+                home, migration_extra = translate(addr, socket_id, False)
+                rec = _LineRec()
+                lines[line] = rec
+                if fill_xlate and (
+                    migration_extra == 0 or not is_first_touch(addr)
+                ):
+                    rec.home = home
+            else:
+                home = rec.home
+                if home < 0:
+                    home, migration_extra = translate(addr, socket_id, False)
+                    if fill_xlate and (
+                        migration_extra == 0 or not is_first_touch(addr)
+                    ):
+                        rec.home = home
+            if home == socket_id:
+                is_local = True
+                n_local += 1
+            else:
+                is_local = False
+                n_remote += 1
             n_read_misses += 1
             n_async += 1
-            waiters = pending_get(line)
-            if waiters is not None:
-                # Second and later missers: promote the bare first-waiter
-                # tuple to a list (coalesced reads are the rare case).
-                if type(waiters) is tuple:
-                    pending[line] = [waiters, (sm_index, on_done)]
-                else:
-                    waiters.append((sm_index, on_done))
+            rp = rec.rp
+            if rp is not None:
+                # Second and later missers piggyback on the in-flight
+                # walker: two flat appends, no per-waiter record.
+                more = rp.w_more
+                if more is None:
+                    wlpool = self._waiter_pool
+                    more = wlpool.pop() if wlpool else _new_waiters()
+                    rp.w_more = more
+                more.append(sm_index)
+                more.append(on_done)
                 n_coalesced += 1
                 continue
-            pending[line] = (sm_index, on_done)
             # Inlined BandwidthResource.service for the NoC hop (one call
             # per outstanding read): identical arithmetic, fixed positive
             # transfer size.
@@ -509,14 +605,23 @@ class GpuSocket:
             rp.line = line
             rp.cls = 0 if is_local else 1
             rp.home_id = home
+            rp.rec = rec
+            rp.w_sm = sm_index
+            rp.w_cb = on_done
+            rec.rp = rp
+            # Inlined Engine.schedule_call_at (calendar-ring insert).
             t = begin + noc_latency + migration_extra
-            bucket = bucket_get(t)
-            if bucket is None:
-                # A new time bucket is necessarily a fresh list.
-                buckets[t] = [rp.st_l2]  # repro-lint: disable=hot-path-alloc
-                heappush(times, t)
+            if t < horizon:
+                slot = t & RING_MASK
+                bucket = ring[slot]
+                if bucket is None:
+                    # A new time bucket is necessarily a fresh list.
+                    ring[slot] = [rp.st_l2]  # repro-lint: disable=hot-path-alloc
+                    n_ring_new += 1
+                else:
+                    bucket.append(rp.st_l2)
             else:
-                bucket.append(rp.st_l2)
+                ovf(t, rp.st_l2)
             n_pending += 1
         if noc_transfers:
             noc._next_free = noc_next_free
@@ -524,6 +629,8 @@ class GpuSocket:
             noc._transfers += noc_transfers
         if n_pending:
             engine._pending += n_pending
+        if n_ring_new:
+            engine._ring_items += n_ring_new
         self.n_local_accesses += n_local
         self.n_remote_accesses += n_remote
         l1.n_read_hits += n_hits
@@ -566,7 +673,7 @@ class GpuSocket:
         self.engine.schedule_at(arrival, home_socket._absorb_writeback, line)
 
     def _line_home(self, line: int) -> int:
-        """Home socket of a cache line (translation-cache assisted)."""
+        """Home socket of a cache line (line-record assisted)."""
         if self._always_local:
             return self.socket_id
         if not self._fill_xlate:
@@ -575,13 +682,16 @@ class GpuSocket:
             return self.page_table.peek_home(
                 line * self.line_size, self.socket_id
             )
-        cached = self._xlate.get(line)
-        if cached is not None:
-            return cached
+        rec = self._lines.get(line)
+        if rec is not None and rec.home >= 0:
+            return rec.home
         addr = line * self.line_size
         home, extra = self.page_table.translate(addr, self.socket_id)
         if extra == 0 or not self.page_table.placement.is_first_touch(addr):
-            self._xlate[line] = home
+            if rec is None:
+                rec = _LineRec()
+                self._lines[line] = rec
+            rec.home = home
         return home
 
     def _absorb_writeback(self, line: int) -> None:
@@ -640,10 +750,10 @@ class GpuSocket:
     # snapshot / restore (DESIGN.md, "Snapshot & resume contract")
     # ------------------------------------------------------------------
     # Wiring, hoisted invariants, pooled walkers, and the sub-kernel
-    # dispatch fields are exempt: walkers and MSHRs must be *empty* at a
-    # quiescent boundary (asserted below), and dispatch state is reset by
-    # the next ``start_subkernel``. ``_pending_pop`` is a bound method of
-    # the (asserted-empty) MSHR dict.
+    # dispatch fields are exempt: walkers and MSHRs must be idle at a
+    # quiescent boundary (asserted below — a record with a live ``rp``
+    # is an in-flight read), and dispatch state is reset by the next
+    # ``start_subkernel``.
     _SNAPSHOT_EXEMPT = (
         "socket_id",
         "config",
@@ -665,9 +775,8 @@ class GpuSocket:
         "_l1_refills",
         "_read_pool",
         "_write_pool",
+        "_waiter_pool",
         "_stats",
-        "_pending_reads",
-        "_pending_pop",
         "_cta_queue",
         "_active_ctas",
         "_subkernel_done_cb",
@@ -675,21 +784,28 @@ class GpuSocket:
     )
 
     def snapshot_state(self) -> dict:
-        """Caches, bandwidth servers, translation cache, and counters.
+        """Caches, bandwidth servers, settled translations, and counters.
 
         Raises :class:`~repro.errors.SnapshotError` unless the socket is
-        quiescent: no in-flight reads in the MSHR table, no queued or
-        resident CTAs, and the current sub-kernel fully notified.
+        quiescent: no in-flight reads (line records with a live walker),
+        no queued or resident CTAs, and the current sub-kernel fully
+        notified. Only settled homes are captured under ``"xlate"``:
+        at a quiescent boundary every unsettled record has already been
+        dropped by its completing fetch.
         """
+        in_flight = 0
+        for rec in self._lines.values():
+            if rec.rp is not None:
+                in_flight += 1
         if (
-            self._pending_reads
+            in_flight
             or self._cta_queue
             or self._active_ctas
             or not self._subkernel_notified
         ):
             raise SnapshotError(
                 f"socket {self.socket_id} is not quiescent: "
-                f"{len(self._pending_reads)} pending read(s), "
+                f"{in_flight} pending read(s), "
                 f"{self._active_ctas} active CTA(s), "
                 f"{len(self._cta_queue)} queued CTA(s), "
                 f"notified={self._subkernel_notified}"
@@ -700,7 +816,11 @@ class GpuSocket:
             "dram": self.dram.snapshot_state(),
             "noc": self.noc.snapshot_state(),
             "coherence": self.coherence.snapshot_state(),
-            "xlate": [[line, home] for line, home in self._xlate.items()],
+            "xlate": [
+                [line, rec.home]
+                for line, rec in self._lines.items()
+                if rec.home >= 0
+            ],
             "counters": [
                 [key, getattr(self, attr)]
                 for attr, key in self._STAT_FIELDS
@@ -710,10 +830,12 @@ class GpuSocket:
     def restore_state(self, state: dict) -> None:
         """Inverse of :meth:`snapshot_state`, onto a fresh socket.
 
-        The translation cache is refilled *in place*: the page table
+        The line-record dict is refilled *in place*: the page table
         holds a reference to this socket's dict (registered at
         construction) for re-homing invalidations, so the object identity
-        must survive restore.
+        must survive restore. L1 frame home hints are rebuilt lazily by
+        the access path (hints never change observable behavior — only
+        which probe resolves the home).
         """
         for sm, sm_state in zip(self.sms, state["sms"]):
             sm.restore_state(sm_state)
@@ -721,9 +843,223 @@ class GpuSocket:
         self.dram.restore_state(state["dram"])
         self.noc.restore_state(state["noc"])
         self.coherence.restore_state(state["coherence"])
-        self._xlate.clear()
+        lines = self._lines
+        lines.clear()
         for line, home in state["xlate"]:
-            self._xlate[int(line)] = int(home)
+            rec = _LineRec()
+            rec.home = int(home)
+            lines[int(line)] = rec
         counters = dict((key, value) for key, value in state["counters"])
         for attr, key in self._STAT_FIELDS:
             setattr(self, attr, int(counters.get(key, 0)))
+
+
+class LocalGpuSocket(GpuSocket):
+    """Single-socket fast-path variant: every access is local.
+
+    Built by :func:`make_socket` exactly when the ``_always_local``
+    predicate holds (one socket, and a placement that never bills a
+    single-socket touch), so translation, home resolution, and locality
+    classification vanish from the burst loop: a read hit is one dict
+    probe and a recency splice; a line record exists only while its
+    fetch is in flight (``home`` stays -1 and the completing walker
+    drops it), so the record dict holds only the MSHR table. Everything
+    outside ``access_burst`` — eviction charging, flushes, snapshots —
+    is inherited unchanged (``_line_home`` already short-circuits on
+    ``_always_local``).
+    """
+
+    __slots__ = ()
+
+    def access_burst(
+        self,
+        sm_index: int,
+        ops: tuple,
+        start: int,
+        limit: int,
+        on_done: OnDone,
+    ) -> tuple[int, int]:
+        """Single-socket :meth:`GpuSocket.access_burst` (no translation)."""
+        l1 = self._l1s[sm_index]
+        l1_get = l1._where.get
+        socket_id = self.socket_id
+        line_size = self.line_size
+        lines = self._lines
+        lines_get = lines.get
+        noc_latency = self.noc_latency
+        engine = self.engine
+        now = engine.now
+        ring = engine._ring
+        ovf = engine._overflow_push
+        horizon = now + RING_SIZE
+        n_ring_new = 0
+        n_pending = 0
+        # NoC batching contract as in the base burst (single event).
+        noc = self.noc
+        noc_next_free = noc._next_free
+        noc_duration = self._noc_data_duration
+        noc_transfers = 0
+        n_ops = len(ops)
+        i = start
+        n_async = 0
+        n_hits = 0
+        n_read_misses = 0
+        n_coalesced = 0
+        n_writes = 0
+        n_write_hits = 0
+        n_write_misses = 0
+        while i < n_ops and n_async < limit:
+            op = ops[i]
+            i += 1
+            line = op.addr // line_size
+            if op.is_write:
+                way = l1_get(line)
+                if way is not None:
+                    sent = way.sent
+                    if way.nxt is not sent:
+                        p = way.prev
+                        n = way.nxt
+                        p.nxt = n
+                        n.prev = p
+                        p = sent.prev
+                        p.nxt = way
+                        way.prev = p
+                        way.nxt = sent
+                        sent.prev = way
+                    n_write_hits += 1
+                else:
+                    n_write_misses += 1
+                n_writes += 1
+                noc_next_free = (
+                    now if now > noc_next_free else noc_next_free
+                ) + noc_duration
+                noc._busy_granted += noc_duration
+                noc_transfers += 1
+                whole = int(noc_next_free)
+                begin = whole if whole == noc_next_free else whole + 1
+                wpool = self._write_pool
+                wp = wpool.pop() if wpool else WritePath(self, wpool)
+                wp.line = line
+                wp.home_id = socket_id
+                wp.is_local = True
+                wp.on_done = on_done
+                t = begin + noc_latency
+                if t < horizon:
+                    slot = t & RING_MASK
+                    bucket = ring[slot]
+                    if bucket is None:
+                        # A new time bucket is necessarily a fresh list.
+                        ring[slot] = [wp.st_l2]  # repro-lint: disable=hot-path-alloc
+                        n_ring_new += 1
+                    else:
+                        bucket.append(wp.st_l2)
+                else:
+                    ovf(t, wp.st_l2)
+                n_pending += 1
+                n_async += 1
+                continue
+            way = l1_get(line)
+            if way is not None:
+                sent = way.sent
+                if way.nxt is not sent:
+                    p = way.prev
+                    n = way.nxt
+                    p.nxt = n
+                    n.prev = p
+                    p = sent.prev
+                    p.nxt = way
+                    way.prev = p
+                    way.nxt = sent
+                    sent.prev = way
+                n_hits += 1
+                continue
+            n_read_misses += 1
+            n_async += 1
+            rec = lines_get(line)
+            if rec is not None:
+                # On a single-socket system a record exists only while
+                # its fetch is in flight — this is a coalesced misser.
+                rp = rec.rp
+                more = rp.w_more
+                if more is None:
+                    wlpool = self._waiter_pool
+                    more = wlpool.pop() if wlpool else _new_waiters()
+                    rp.w_more = more
+                more.append(sm_index)
+                more.append(on_done)
+                n_coalesced += 1
+                continue
+            rec = _LineRec()
+            lines[line] = rec
+            noc_next_free = (
+                now if now > noc_next_free else noc_next_free
+            ) + noc_duration
+            noc._busy_granted += noc_duration
+            noc_transfers += 1
+            whole = int(noc_next_free)
+            begin = whole if whole == noc_next_free else whole + 1
+            rpool = self._read_pool
+            rp = rpool.pop() if rpool else ReadPath(self, rpool)
+            rp.line = line
+            rp.cls = 0
+            rp.home_id = socket_id
+            rp.rec = rec
+            rp.w_sm = sm_index
+            rp.w_cb = on_done
+            rec.rp = rp
+            t = begin + noc_latency
+            if t < horizon:
+                slot = t & RING_MASK
+                bucket = ring[slot]
+                if bucket is None:
+                    # A new time bucket is necessarily a fresh list.
+                    ring[slot] = [rp.st_l2]  # repro-lint: disable=hot-path-alloc
+                    n_ring_new += 1
+                else:
+                    bucket.append(rp.st_l2)
+            else:
+                ovf(t, rp.st_l2)
+            n_pending += 1
+        if noc_transfers:
+            noc._next_free = noc_next_free
+            noc._bytes_total += DATA_BYTES * noc_transfers
+            noc._transfers += noc_transfers
+        if n_pending:
+            engine._pending += n_pending
+        if n_ring_new:
+            engine._ring_items += n_ring_new
+        self.n_local_accesses += i - start
+        l1.n_read_hits += n_hits
+        self.n_l1_hits += n_hits
+        if n_read_misses:
+            l1.n_read_misses += n_read_misses
+            self.n_l1_misses += n_read_misses
+            self.n_reads_coalesced += n_coalesced
+        if n_writes:
+            self.n_writes += n_writes
+            l1.n_write_hits += n_write_hits
+            l1.n_write_misses += n_write_misses
+        _obs_burst(self, sm_index, now, n_hits, n_async)
+        return i, n_async
+
+
+def make_socket(
+    socket_id: int,
+    config: SystemConfig,
+    engine: Engine,
+    page_table: PageTable,
+    switch,
+) -> GpuSocket:
+    """Build the right burst variant for the system shape.
+
+    Single-socket systems whose placement never bills a local touch get
+    :class:`LocalGpuSocket` (the translation-free fast path — the same
+    predicate the base class hoists as ``_always_local``); everything
+    else gets the general :class:`GpuSocket`.
+    """
+    if (
+        config.n_sockets == 1
+        and not page_table.placement.policy_obj.bills_single_socket_touch
+    ):
+        return LocalGpuSocket(socket_id, config, engine, page_table, switch)
+    return GpuSocket(socket_id, config, engine, page_table, switch)

@@ -15,7 +15,7 @@ from repro.config import CacheArch, LinkPolicy, SystemConfig
 from repro.core.link_policy import build_balancers
 from repro.core.numa_cache import CachePartitionController
 from repro.errors import SnapshotError
-from repro.gpu.socket import GpuSocket
+from repro.gpu.socket import make_socket
 from repro.locality.cta import build_cta_policy
 from repro.locality.distance import DistanceModel
 from repro.memory.page_table import PageTable
@@ -81,7 +81,7 @@ class NumaGpuSystem:
         # historic name; it is typed as the Fabric interface now.
         self.switch = build_fabric(config, self.engine)
         self.sockets = [
-            GpuSocket(s, config, self.engine, self.page_table, self.switch)
+            make_socket(s, config, self.engine, self.page_table, self.switch)
             for s in range(config.n_sockets)
         ]
         if self.switch is not None:

@@ -82,15 +82,21 @@ class _Way:
     ``nxt`` link the frame into its set's recency list while it is valid
     (stale otherwise — frames are unlinked whenever they invalidate);
     ``sent`` points at the set's sentinel so a touch can reach the MRU
-    end without recomputing the set index.
+    end without recomputing the set index. ``home`` is the L1 fast-path
+    home-socket hint (-1 = unknown): set from the settled line record on
+    refill, reset whenever a frame is reassigned to a new line, and
+    cleared by the page table when the line's page re-homes — a hint
+    >= 0 therefore always equals the line record's settled home, so the
+    access path may trust it without a record probe.
     """
 
-    __slots__ = ("line", "cls", "dirty", "prev", "nxt", "sent")
+    __slots__ = ("line", "cls", "dirty", "home", "prev", "nxt", "sent")
 
     def __init__(self) -> None:
         self.line: int | None = None
         self.cls = 0  # NumaClass.LOCAL.value
         self.dirty = False
+        self.home = -1
         self.prev: "_Way | None" = None
         self.nxt: "_Way | None" = None
         self.sent: "_Way | None" = None
@@ -337,6 +343,7 @@ class SetAssocCache:
         victim.line = line
         victim.cls = cls
         victim.dirty = dirty
+        victim.home = -1
         sent = victim.sent
         p = sent.prev
         p.nxt = victim
@@ -407,6 +414,7 @@ class SetAssocCache:
         victim.line = line
         victim.cls = cls
         victim.dirty = dirty
+        victim.home = -1
         sent = victim.sent
         p = sent.prev
         p.nxt = victim
@@ -417,19 +425,23 @@ class SetAssocCache:
         self.n_fills += 1
         return packed
 
-    def refill(self, line: int, numa_class: NumaClass) -> None:
+    def refill(self, line: int, numa_class: NumaClass, home: int = -1) -> None:
         """:meth:`fill` minus victim reporting, for clean refills.
 
         The socket's read-return path refills write-through L1s whose
         victims are never dirty and always discarded by the caller, so
         constructing an :class:`EvictedLine` per refill is pure waste.
         State mutations and counters are identical to
-        ``fill(line, numa_class)``.
+        ``fill(line, numa_class)``. ``home`` seeds the frame's fast-path
+        home hint (the caller passes the line record's settled home, or
+        -1); the hint never alters observable behavior — only which
+        probe resolves the home on a later hit.
         """
         where = self._where
         existing = where.get(line)
         if existing is not None:
             self._touch(existing)
+            existing.home = home
             return
         cls = 1 if numa_class is NumaClass.REMOTE else 0
         mask = self._set_mask
@@ -471,6 +483,7 @@ class SetAssocCache:
         victim.line = line
         victim.cls = cls
         victim.dirty = False
+        victim.home = home
         sent = victim.sent
         p = sent.prev
         p.nxt = victim

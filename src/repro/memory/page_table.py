@@ -45,6 +45,7 @@ class PageTable:
         "_fused_first_touch",
         "_stats",
         "_line_caches",
+        "_frame_hints",
         "_lines_per_page",
         "n_faults",
         "n_translations",
@@ -74,8 +75,13 @@ class PageTable:
         self.n_faults = 0
         self.n_translations = 0
         self.n_translation_invalidations = 0
-        #: line-granular translation caches registered by the sockets.
-        self._line_caches: list[dict[int, int]] = []
+        #: line-granular access-record dicts registered by the sockets
+        #: (line -> record with ``home``/``rp`` attributes; see
+        #: repro.gpu.socket._LineRec).
+        self._line_caches: list[dict] = []
+        #: per-L1 ``line -> frame`` tag dicts whose frames carry a
+        #: ``home`` hint that must be cleared on re-homing.
+        self._frame_hints: list[dict] = []
         self._lines_per_page = max(1, config.page_size // config.gpu.l2.line_size)
 
     @property
@@ -169,28 +175,53 @@ class PageTable:
     # ------------------------------------------------------------------
     # translation-cache registry
     # ------------------------------------------------------------------
-    def register_line_cache(self, cache: dict[int, int]) -> None:
-        """Register one socket's ``line -> home_socket`` cache.
+    def register_line_cache(self, cache: dict) -> None:
+        """Register one socket's per-line access-record dict.
 
         The page table never fills these (sockets do, on their own access
         paths); registration only lets :meth:`invalidate_page` find them.
         """
         self._line_caches.append(cache)
 
+    def register_frame_hints(self, frames: dict) -> None:
+        """Register one L1's ``line -> frame`` tag dict.
+
+        The frames carry a ``home`` hint (repro.memory.cache._Way) that
+        mirrors the settled record home; :meth:`invalidate_page` clears
+        it so a hit on an invalidated line re-resolves its home. The data
+        itself stays valid — coherence is software-managed.
+        """
+        self._frame_hints.append(frames)
+
     def invalidate_page(self, page: int) -> int:
-        """Drop every cached translation of ``page`` in every socket.
+        """Drop every settled translation of ``page`` in every socket.
 
         Must be called whenever a page's home changes after it may have
         been translated (page migration / re-pinning). Returns the number
-        of cached line entries removed — useful for tests and migration
-        accounting.
+        of settled record homes dropped — useful for tests and migration
+        accounting. Records whose fetch is still in flight keep their
+        MSHR state (the in-flight read completes at its already-resolved
+        home, as it always did) but lose the settled home; records with
+        no in-flight fetch are removed outright. Matching L1 frame hints
+        are cleared alongside.
         """
         first_line = page * self._lines_per_page
+        last_line = first_line + self._lines_per_page
         removed = 0
         for cache in self._line_caches:
-            for line in range(first_line, first_line + self._lines_per_page):
-                if cache.pop(line, None) is not None:
+            for line in range(first_line, last_line):
+                rec = cache.get(line)
+                if rec is not None and rec.home >= 0:
                     removed += 1
+                    if rec.rp is None:
+                        del cache[line]
+                    else:
+                        rec.home = -1
+        for frames in self._frame_hints:
+            for line in range(first_line, last_line):
+                way = frames.get(line)
+                if way is not None:
+                    way.home = -1
         self.n_translation_invalidations += removed
         return removed
 
@@ -219,6 +250,7 @@ class PageTable:
         "_fused_first_touch",
         "_stats",
         "_line_caches",
+        "_frame_hints",
         "_lines_per_page",
     )
 

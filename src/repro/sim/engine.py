@@ -10,17 +10,31 @@ Components never busy-wait: anything that costs time either schedules a
 callback or routes through a :class:`repro.sim.resource.BandwidthResource`.
 
 The dispatch loop is the single hottest frame of every simulation, so the
-queue is a *bucket queue* rather than one big binary heap: a dict maps
-each pending timestamp to a FIFO list of entries, and a small heap orders
-only the distinct timestamps. Scheduling an event at an already-pending
-time is a dict probe plus a list append (no O(log n) sift), and draining
-a timestamp walks its bucket with no per-event heap traffic — the batched
-same-timestamp drain. The execution order is identical to the classic
-``(time, seq)`` heap: ascending time, FIFO within a time, including
-events appended to the *current* timestamp mid-drain. :meth:`Engine.run`
-additionally splits into a fast path for the common unbounded call and a
-guarded loop for ``until``/``max_events`` runs; both drain in the same
-order.
+queue is a *calendar ring* rather than a heap-ordered bucket dict: a
+power-of-two array of :data:`RING_SIZE` slots covers the near future, and
+an event at time ``t`` with ``t - now < RING_SIZE`` lives in slot
+``t & RING_MASK`` — an index into a flat list, no hashing and no heap
+sift. Because every live ring timestamp lies in ``[now, now + RING_SIZE)``,
+distinct timestamps occupy distinct slots and the slot index needs no
+base offset. The drain loop advances ``now`` by scanning forward from the
+current slot; total scan work over a run is bounded by the simulated
+cycle count (each empty slot is visited at most once per lap), which for
+this simulator's event densities (~0.5-4 events/cycle) is cheaper than
+the heap traffic it replaces.
+
+Timestamps at or beyond ``now + RING_SIZE`` (congested-server horizons,
+migration charges on a backlogged link) go to the *overflow* bucket
+queue — the pre-ring structure: ``_buckets`` maps each far timestamp to
+its FIFO list and ``_times`` is a heap of those distinct timestamps.
+Whenever ``now`` advances, overflow timestamps that entered the ring
+window are migrated into their slots *before* any callback runs
+(:meth:`Engine._migrate_window`), so ring events and overflow events can
+never coexist at the same timestamp and the drain order stays exactly
+the classic ``(time, seq)`` heap order: ascending time, FIFO within a
+time, including events appended to the *current* timestamp mid-drain.
+:meth:`Engine.run` additionally splits into a fast path for the common
+unbounded call and a guarded loop for ``until``/``max_events`` runs;
+both drain in the same order.
 
 Bucket entries come in two shapes (the fused miss pipeline relies on the
 second):
@@ -47,6 +61,17 @@ from repro.errors import SchedulingError, SnapshotError
 
 Callback = Callable[..., None]
 
+#: Calendar-ring span in cycles (power of two). Delays on the simulated
+#: machine are mostly < 512 cycles; the span comfortably covers the
+#: migration charge (600) and kernel-launch latency (2000) so overflow
+#: traffic is rare even under queueing backlogs.
+RING_SIZE = 8192
+#: Slot index mask: ``slot = time & RING_MASK``.
+RING_MASK = RING_SIZE - 1
+
+#: Template for clearing a ring in place without a Python-level loop.
+_EMPTY_RING = (None,) * RING_SIZE
+
 
 class Engine:
     """A deterministic discrete-event scheduler.
@@ -65,6 +90,8 @@ class Engine:
     """
 
     __slots__ = (
+        "_ring",
+        "_ring_items",
         "_buckets",
         "_times",
         "now",
@@ -74,7 +101,13 @@ class Engine:
     )
 
     def __init__(self) -> None:
-        #: pending events: timestamp -> FIFO of entries (see module doc).
+        #: calendar ring: slot ``t & RING_MASK`` -> FIFO of entries at
+        #: ``t``, or None. The list object is allocated once and mutated
+        #: in place forever — hot callers cache a reference to it.
+        self._ring: list = list(_EMPTY_RING)
+        #: occupied ring slots (O(1) emptiness check for the drain loop).
+        self._ring_items: int = 0
+        #: overflow events (time >= now + RING_SIZE): timestamp -> FIFO.
         self._buckets: dict[int, list] = {}
         #: heap of the distinct timestamps present in ``_buckets``.
         self._times: list[int] = []
@@ -100,13 +133,23 @@ class Engine:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SchedulingError(f"negative delay {delay} for {callback!r}")
-        time = self.now + int(delay)
-        bucket = self._buckets.get(time)
-        if bucket is None:
-            self._buckets[time] = [(callback, args)]
-            heapq.heappush(self._times, time)
+        delay = int(delay)
+        time = self.now + delay
+        if delay < RING_SIZE:
+            slot = time & RING_MASK
+            bucket = self._ring[slot]
+            if bucket is None:
+                self._ring[slot] = [(callback, args)]
+                self._ring_items += 1
+            else:
+                bucket.append((callback, args))
         else:
-            bucket.append((callback, args))
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [(callback, args)]
+                heapq.heappush(self._times, time)
+            else:
+                bucket.append((callback, args))
         self._pending += 1
 
     def schedule_at(self, time: int, callback: Callback, *args: Any) -> None:
@@ -116,12 +159,21 @@ class Engine:
             raise SchedulingError(
                 f"event at t={time} is in the past (now={self.now})"
             )
-        bucket = self._buckets.get(time)
-        if bucket is None:
-            self._buckets[time] = [(callback, args)]
-            heapq.heappush(self._times, time)
+        if time - self.now < RING_SIZE:
+            slot = time & RING_MASK
+            bucket = self._ring[slot]
+            if bucket is None:
+                self._ring[slot] = [(callback, args)]
+                self._ring_items += 1
+            else:
+                bucket.append((callback, args))
         else:
-            bucket.append((callback, args))
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [(callback, args)]
+                heapq.heappush(self._times, time)
+            else:
+                bucket.append((callback, args))
         self._pending += 1
 
     def schedule_call(self, delay: int, fn: Callable[[], None]) -> None:
@@ -133,13 +185,23 @@ class Engine:
         """
         if delay < 0:
             raise SchedulingError(f"negative delay {delay} for {fn!r}")
-        time = self.now + int(delay)
-        bucket = self._buckets.get(time)
-        if bucket is None:
-            self._buckets[time] = [fn]
-            heapq.heappush(self._times, time)
+        delay = int(delay)
+        time = self.now + delay
+        if delay < RING_SIZE:
+            slot = time & RING_MASK
+            bucket = self._ring[slot]
+            if bucket is None:
+                self._ring[slot] = [fn]
+                self._ring_items += 1
+            else:
+                bucket.append(fn)
         else:
-            bucket.append(fn)
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [fn]
+                heapq.heappush(self._times, time)
+            else:
+                bucket.append(fn)
         self._pending += 1
 
     def schedule_call_at(self, time: int, fn: Callable[[], None]) -> None:
@@ -149,13 +211,53 @@ class Engine:
             raise SchedulingError(
                 f"event at t={time} is in the past (now={self.now})"
             )
+        if time - self.now < RING_SIZE:
+            slot = time & RING_MASK
+            bucket = self._ring[slot]
+            if bucket is None:
+                self._ring[slot] = [fn]
+                self._ring_items += 1
+            else:
+                bucket.append(fn)
+        else:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [fn]
+                heapq.heappush(self._times, time)
+            else:
+                bucket.append(fn)
+        self._pending += 1
+
+    def _overflow_push(self, time: int, entry: Any) -> None:
+        """Insert one entry into the overflow queue (``_pending`` is the
+        caller's responsibility — inlined hot paths batch the count)."""
         bucket = self._buckets.get(time)
         if bucket is None:
-            self._buckets[time] = [fn]
+            self._buckets[time] = [entry]
             heapq.heappush(self._times, time)
         else:
-            bucket.append(fn)
-        self._pending += 1
+            bucket.append(entry)
+
+    def _migrate_window(self) -> None:
+        """Pull overflow buckets whose timestamps entered the ring window.
+
+        Called whenever ``now`` advances, *before* any callback at the
+        new time runs. Keeps the invariant that every overflow timestamp
+        is ``>= now + RING_SIZE`` — which is what guarantees a ring event
+        and an overflow event can never share a timestamp, and therefore
+        that ring-first drain order equals global ``(time, seq)`` order.
+        """
+        times = self._times
+        limit = self.now + RING_SIZE
+        if not times or times[0] >= limit:
+            return
+        ring = self._ring
+        buckets = self._buckets
+        pop = heapq.heappop
+        while times and times[0] < limit:
+            time = pop(times)
+            ring[time & RING_MASK] = buckets.pop(time)
+            self._ring_items += 1
 
     def run(self, until: int | None = None, max_events: int | None = None) -> int:
         """Drain the event queue.
@@ -180,18 +282,37 @@ class Engine:
         """
         if until is None and max_events is None:
             return self._run_unbounded()
+        ring = self._ring
         times = self._times
         buckets = self._buckets
+        migrate = self._migrate_window
         events_this_run = 0
         self._running = True
         try:
-            while times:
-                time = times[0]
+            while self._ring_items or times:
+                if self._ring_items:
+                    time = self.now
+                    while ring[time & RING_MASK] is None:
+                        time += 1
+                else:
+                    time = times[0]
                 if until is not None and time > until:
                     self.now = until
-                    return self.now
-                bucket = buckets[time]
+                    migrate()
+                    return until
+                slot = time & RING_MASK
+                bucket = ring[slot]
+                if bucket is None:
+                    # Next event comes from the overflow heap: land its
+                    # bucket in the ring slot so mid-drain appends to the
+                    # same timestamp extend the same FIFO.
+                    heapq.heappop(times)
+                    bucket = buckets.pop(time)
+                    ring[slot] = bucket
+                    self._ring_items += 1
                 self.now = time
+                if times:
+                    migrate()
                 consumed = 0
                 try:
                     while consumed < len(bucket):
@@ -218,41 +339,59 @@ class Engine:
                         # fires *before* consuming, so the blocked event
                         # is still pending; a callback that raised was
                         # already consumed.
-                        buckets[time] = bucket[consumed:]
+                        ring[slot] = bucket[consumed:]
                     else:
-                        heapq.heappop(times)
-                        del buckets[time]
+                        ring[slot] = None
+                        self._ring_items -= 1
         finally:
             self._running = False
         if until is not None and until > self.now:
             self.now = until
+            self._migrate_window()
         return self.now
 
     def _run_unbounded(self) -> int:
         """Fast drain loop: no time bound, no event budget.
 
-        Everything hot is bound to locals; one heap pop per *distinct
-        timestamp*, then the bucket drains FIFO — including events a
-        callback appends to the current timestamp — with a single clock
-        store for the whole batch.
+        Everything hot is bound to locals; the next timestamp is found by
+        scanning the ring forward from ``now`` (empty slots are visited
+        at most once per simulated cycle), then the bucket drains FIFO —
+        including events a callback appends to the current timestamp —
+        with a single clock store for the whole batch.
         """
+        ring = self._ring
         times = self._times
         buckets = self._buckets
         pop = heapq.heappop
         events = 0
+        time = self.now
         self._running = True
         try:
-            while times:
-                time = pop(times)
-                bucket = buckets.pop(time)
+            while True:
+                if self._ring_items:
+                    slot = time & RING_MASK
+                    bucket = ring[slot]
+                    while bucket is None:
+                        time += 1
+                        slot = time & RING_MASK
+                        bucket = ring[slot]
+                    # The bucket is detached up front. An event appended
+                    # to the *current* timestamp mid-drain therefore
+                    # opens a fresh bucket in the same slot; the scan
+                    # resumes at `time`, so that bucket is drained
+                    # immediately after this one, preserving exact FIFO
+                    # order within the timestamp (pinned by
+                    # test_pending_events_counts_mid_drain_appends).
+                    ring[slot] = None
+                    self._ring_items -= 1
+                elif times:
+                    time = pop(times)
+                    bucket = buckets.pop(time)
+                else:
+                    break
                 self.now = time
-                # The bucket is detached up front (one dict op instead of
-                # a fetch + delete). An event appended to the *current*
-                # timestamp mid-drain therefore opens a fresh bucket and
-                # re-pushes `time`; that bucket is drained immediately
-                # after this one, preserving exact FIFO order within the
-                # timestamp (pinned by
-                # test_pending_events_counts_mid_drain_appends).
+                if times:
+                    self._migrate_window()
                 try:
                     for entry in bucket:
                         if type(entry) is tuple:
@@ -264,14 +403,14 @@ class Engine:
                     # Keep the whole bucket queued (the engine's queue is
                     # not resumable after a model exception, but pending
                     # accounting and peek_time stay consistent). If a
-                    # callback re-opened this timestamp, merge — `time`
-                    # is then already back in the heap.
-                    reopened = buckets.get(time)
+                    # callback re-opened this timestamp, merge in front.
+                    slot = time & RING_MASK
+                    reopened = ring[slot]
                     if reopened is None:
-                        buckets[time] = bucket
-                        heapq.heappush(times, time)
+                        ring[slot] = bucket
+                        self._ring_items += 1
                     else:
-                        buckets[time] = bucket + reopened
+                        ring[slot] = bucket + reopened
                     raise
                 n = len(bucket)
                 events += n
@@ -283,6 +422,12 @@ class Engine:
 
     def peek_time(self) -> int | None:
         """Time of the next pending event, or ``None`` when idle."""
+        if self._ring_items:
+            ring = self._ring
+            time = self.now
+            while ring[time & RING_MASK] is None:
+                time += 1
+            return time
         return self._times[0] if self._times else None
 
     # ------------------------------------------------------------------
@@ -290,9 +435,19 @@ class Engine:
     # ------------------------------------------------------------------
     # The queue itself is never serialized: snapshots are only legal at
     # quiescent boundaries where the queue is empty, so the mutable state
-    # reduces to the clock and the event counter. ``_buckets`` /
-    # ``_times`` / ``_pending`` are asserted empty and ``_running`` false.
-    _SNAPSHOT_EXEMPT = ("_buckets", "_times", "_pending", "_running")
+    # reduces to the clock and the event counter. The ring, the overflow
+    # structures and ``_pending`` are asserted empty and ``_running``
+    # false. ``now`` may sit anywhere in the ring's modular window — slot
+    # indices are derived from the clock, so nothing about the wrap
+    # position needs capturing.
+    _SNAPSHOT_EXEMPT = (
+        "_ring",
+        "_ring_items",
+        "_buckets",
+        "_times",
+        "_pending",
+        "_running",
+    )
 
     def snapshot_state(self) -> dict:
         """Clock + event counter of a drained engine.
@@ -301,7 +456,7 @@ class Engine:
         queued or a drain is in progress — entries in the bucket queue
         are arbitrary bound methods and cannot be serialized.
         """
-        if self._pending or self._buckets or self._running:
+        if self._pending or self._ring_items or self._buckets or self._running:
             raise SnapshotError(
                 f"engine is not quiescent: {self._pending} pending "
                 f"event(s), running={self._running}"
@@ -309,7 +464,14 @@ class Engine:
         return {"now": self.now, "events_processed": self._events_processed}
 
     def restore_state(self, state: dict) -> None:
-        """Inverse of :meth:`snapshot_state`, onto a fresh engine."""
+        """Inverse of :meth:`snapshot_state`, onto a fresh engine.
+
+        The ring list is cleared *in place* — hot callers (the issue loop
+        and the pooled walkers) cache a reference to it at construction,
+        so its identity must survive a restore.
+        """
+        self._ring[:] = _EMPTY_RING
+        self._ring_items = 0
         self._buckets.clear()
         self._times.clear()
         self._pending = 0

@@ -78,11 +78,10 @@ Stage map (stepwise handler -> walker stage, one engine event each):
 
 from __future__ import annotations
 
-from heapq import heappush
-
 from repro.interconnect.packets import CONTROL_BYTES, DATA_BYTES
 from repro.memory.cache import NumaClass
 from repro.obs.hooks import NOOP, register
+from repro.sim.engine import RING_MASK, RING_SIZE
 
 # Observability hook points (repro.obs.hooks): bare module globals,
 # rebound to tracer handlers at enable time. The disabled path is one
@@ -120,8 +119,8 @@ class ReadPath:
         "pool",
         "socket",
         "engine",
-        "buckets",
-        "times",
+        "ring",
+        "ovf",
         # Issuer-side invariants cached at construction (the pool is
         # per-socket, so these never change over the walker's lifetime).
         "socket_id",
@@ -136,14 +135,22 @@ class ReadPath:
         "hit_tail",
         "holds_remote",
         "charge",
-        "pending_pop",
+        "lines",
+        "wpool",
         "refills",
-        # Per-miss state.
+        # Per-miss state. The walker doubles as the line's MSHR waiter
+        # record: ``rec`` is the socket's _LineRec for the line, ``w_sm``
+        # / ``w_cb`` the first (un-coalesced) waiter, ``w_more`` a
+        # recycled flat [sm, cb, sm, cb, ...] list of later missers.
         "line",
         "cls",
         "home_id",
         "home",
         "t_complete",
+        "rec",
+        "w_sm",
+        "w_cb",
+        "w_more",
         # Prebound stages.
         "st_l2",
         "st_fill_local",
@@ -159,8 +166,10 @@ class ReadPath:
         self.socket = socket
         engine = socket.engine
         self.engine = engine
-        self.buckets = engine._buckets
-        self.times = engine._times
+        # The ring list's identity is stable for the engine's lifetime
+        # (restore_state clears it in place), so caching it here is safe.
+        self.ring = engine._ring
+        self.ovf = engine._overflow_push
         self.socket_id = socket.socket_id
         self.line_size = socket.line_size
         self.l2 = socket.l2
@@ -174,13 +183,18 @@ class ReadPath:
         self.hit_tail = socket._l2_hit_latency + socket.noc_latency
         self.holds_remote = socket._l2_holds_remote
         self.charge = socket._charge_dirty_eviction
-        self.pending_pop = socket._pending_pop
+        self.lines = socket._lines
+        self.wpool = socket._waiter_pool
         self.refills = socket._l1_refills
         self.line = 0
         self.cls = CLS_LOCAL
         self.home_id = 0
         self.home = None
         self.t_complete = 0
+        self.rec = None
+        self.w_sm = 0
+        self.w_cb = None
+        self.w_more = None
         # Stage methods prebound once; scheduling a hop is then a plain
         # attribute load + bucket append (no per-hop bound-method alloc).
         self.st_l2 = self._stage_l2
@@ -220,15 +234,20 @@ class ReadPath:
                 self.l2.n_read_hits += 1
                 s.n_l2_hits += 1
                 # Quote: pure-latency tail (L2 hit + NoC reply hop).
-                # Inlined Engine.schedule_call (bucket append).
-                t = engine.now + self.hit_tail
-                buckets = self.buckets
-                bucket = buckets.get(t)
-                if bucket is None:
-                    buckets[t] = [self.st_complete]
-                    heappush(self.times, t)
+                # Inlined Engine.schedule_call (calendar-ring insert).
+                now = engine.now
+                t = now + self.hit_tail
+                if t - now < RING_SIZE:
+                    ring = self.ring
+                    slot = t & RING_MASK
+                    bucket = ring[slot]
+                    if bucket is None:
+                        ring[slot] = [self.st_complete]
+                        engine._ring_items += 1
+                    else:
+                        bucket.append(self.st_complete)
                 else:
-                    bucket.append(self.st_complete)
+                    self.ovf(t, self.st_complete)
                 engine._pending += 1
                 return
             self.l2.n_read_misses += 1
@@ -254,27 +273,36 @@ class ReadPath:
             whole = int(next_free)
             done = (whole if whole == next_free else whole + 1) + dram.latency
             self.t_complete = done + self.noc_latency
-            buckets = self.buckets
-            bucket = buckets.get(done)
-            if bucket is None:
-                buckets[done] = [self.st_fill_local]
-                heappush(self.times, done)
+            if done - now < RING_SIZE:
+                ring = self.ring
+                slot = done & RING_MASK
+                bucket = ring[slot]
+                if bucket is None:
+                    ring[slot] = [self.st_fill_local]
+                    engine._ring_items += 1
+                else:
+                    bucket.append(self.st_fill_local)
             else:
-                bucket.append(self.st_fill_local)
+                self.ovf(done, self.st_fill_local)
             engine._pending += 1
             return
         s.n_remote_read_requests += 1
+        now = engine.now
         arrival = self.switch.send_bytes(
-            engine.now, self.socket_id, self.home_id, CONTROL_BYTES
+            now, self.socket_id, self.home_id, CONTROL_BYTES
         )
         self.home = self.owners[self.home_id]
-        buckets = self.buckets
-        bucket = buckets.get(arrival)
-        if bucket is None:
-            buckets[arrival] = [self.st_serve]
-            heappush(self.times, arrival)
+        if arrival - now < RING_SIZE:
+            ring = self.ring
+            slot = arrival & RING_MASK
+            bucket = ring[slot]
+            if bucket is None:
+                ring[slot] = [self.st_serve]
+                engine._ring_items += 1
+            else:
+                bucket.append(self.st_serve)
         else:
-            bucket.append(self.st_serve)
+            self.ovf(arrival, self.st_serve)
         engine._pending += 1
 
     def _stage_fill_local(self) -> None:
@@ -282,15 +310,20 @@ class ReadPath:
         packed = self.l2_fill(self.line, 0)
         if packed >= 0:
             self.charge(packed)
+        engine = self.engine
         t = self.t_complete
-        buckets = self.buckets
-        bucket = buckets.get(t)
-        if bucket is None:
-            buckets[t] = [self.st_complete]
-            heappush(self.times, t)
+        if t - engine.now < RING_SIZE:
+            ring = self.ring
+            slot = t & RING_MASK
+            bucket = ring[slot]
+            if bucket is None:
+                ring[slot] = [self.st_complete]
+                engine._ring_items += 1
+            else:
+                bucket.append(self.st_complete)
         else:
-            bucket.append(self.st_complete)
-        self.engine._pending += 1
+            self.ovf(t, self.st_complete)
+        engine._pending += 1
 
     def _stage_serve(self) -> None:
         """Home-side service of the request (stepwise ``_serve_remote_read``)."""
@@ -315,14 +348,19 @@ class ReadPath:
             l2.n_read_hits += 1
             h.n_l2_hits_for_remote += 1
             engine = self.engine
-            t = engine.now + h._l2_hit_latency
-            buckets = self.buckets
-            bucket = buckets.get(t)
-            if bucket is None:
-                buckets[t] = [self.st_respond]
-                heappush(self.times, t)
+            now = engine.now
+            t = now + h._l2_hit_latency
+            if t - now < RING_SIZE:
+                ring = self.ring
+                slot = t & RING_MASK
+                bucket = ring[slot]
+                if bucket is None:
+                    ring[slot] = [self.st_respond]
+                    engine._ring_items += 1
+                else:
+                    bucket.append(self.st_respond)
             else:
-                bucket.append(self.st_respond)
+                self.ovf(t, self.st_respond)
             engine._pending += 1
             return
         l2.n_read_misses += 1
@@ -344,13 +382,17 @@ class ReadPath:
         dram.n_bytes += nbytes
         whole = int(next_free)
         done = (whole if whole == next_free else whole + 1) + dram.latency
-        buckets = self.buckets
-        bucket = buckets.get(done)
-        if bucket is None:
-            buckets[done] = [self.st_fill_respond]
-            heappush(self.times, done)
+        if done - now < RING_SIZE:
+            ring = self.ring
+            slot = done & RING_MASK
+            bucket = ring[slot]
+            if bucket is None:
+                ring[slot] = [self.st_fill_respond]
+                engine._ring_items += 1
+            else:
+                bucket.append(self.st_fill_respond)
         else:
-            bucket.append(self.st_fill_respond)
+            self.ovf(done, self.st_fill_respond)
         engine._pending += 1
 
     def _stage_fill_respond(self) -> None:
@@ -368,16 +410,21 @@ class ReadPath:
     def _respond(self) -> None:
         h = self.home
         engine = self.engine
+        now = engine.now
         arrival = h.switch.send_bytes(
-            engine.now, h.socket_id, self.socket_id, DATA_BYTES
+            now, h.socket_id, self.socket_id, DATA_BYTES
         )
-        buckets = self.buckets
-        bucket = buckets.get(arrival)
-        if bucket is None:
-            buckets[arrival] = [self.st_reply]
-            heappush(self.times, arrival)
+        if arrival - now < RING_SIZE:
+            ring = self.ring
+            slot = arrival & RING_MASK
+            bucket = ring[slot]
+            if bucket is None:
+                ring[slot] = [self.st_reply]
+                engine._ring_items += 1
+            else:
+                bucket.append(self.st_reply)
         else:
-            bucket.append(self.st_reply)
+            self.ovf(arrival, self.st_reply)
         engine._pending += 1
 
     def _stage_reply(self) -> None:
@@ -394,26 +441,46 @@ class ReadPath:
         _obs_read_end(self)
         line = self.line
         cls = self.cls
-        waiters = self.pending_pop(line, None)
+        rec = self.rec
+        home = rec.home
+        w_sm = self.w_sm
+        w_cb = self.w_cb
+        more = self.w_more
+        rec.rp = None
+        self.rec = None
+        self.w_cb = None
+        self.w_more = None
+        if home < 0:
+            # The line's charge never settled (dynamic policy or an
+            # unclaimed FIRST_TOUCH page): drop the record so the next
+            # access translates again — the old MSHR-pop semantics.
+            del self.lines[line]
         refills = self.refills
         # Release before running callbacks: completions can issue new
         # misses that re-acquire this walker; all fields are in locals.
         self.pool.append(self)
-        if waiters is None:
-            return
         numa_class = _CLASSES[cls]
-        if type(waiters) is tuple:
-            # Un-coalesced read (the common case): no dedup set needed.
-            sm_index, on_done = waiters
-            refills[sm_index](line, numa_class)
-            on_done()
+        refills[w_sm](line, numa_class, home)
+        w_cb()
+        if more is None:
             return
-        filled_sms: set[int] = set()
-        for sm_index, on_done in waiters:
+        # Coalesced readers: refill each distinct waiter L1 once (the
+        # first waiter's SM is pre-seeded), fire callbacks in FIFO order.
+        filled_sms = {w_sm}
+        idx = 0
+        n = len(more)
+        while idx < n:
+            sm_index = more[idx]
+            on_done = more[idx + 1]
+            idx += 2
             if sm_index not in filled_sms:
-                refills[sm_index](line, numa_class)
+                refills[sm_index](line, numa_class, home)
                 filled_sms.add(sm_index)
             on_done()
+        # Recycle only after the iteration: a callback can start a new
+        # coalesced miss, which must draw a different list from the pool.
+        more.clear()
+        self.wpool.append(more)
 
 
 class WritePath:
@@ -423,8 +490,8 @@ class WritePath:
         "pool",
         "socket",
         "engine",
-        "buckets",
-        "times",
+        "ring",
+        "ovf",
         # Issuer-side invariants cached at construction.
         "socket_id",
         "line_size",
@@ -455,8 +522,8 @@ class WritePath:
         self.socket = socket
         engine = socket.engine
         self.engine = engine
-        self.buckets = engine._buckets
-        self.times = engine._times
+        self.ring = engine._ring
+        self.ovf = engine._overflow_push
         self.socket_id = socket.socket_id
         self.line_size = socket.line_size
         self.l2 = socket.l2
@@ -514,16 +581,21 @@ class WritePath:
                 self.dram.access(engine.now, self.line_size, write=True)
             on_done = self.on_done
             self.on_done = None
-            _obs_write_end(self, engine.now + self.l2_lat)
+            now = engine.now
+            t = now + self.l2_lat
+            _obs_write_end(self, t)
             self.pool.append(self)
-            t = engine.now + self.l2_lat
-            buckets = self.buckets
-            bucket = buckets.get(t)
-            if bucket is None:
-                buckets[t] = [on_done]
-                heappush(self.times, t)
+            if t - now < RING_SIZE:
+                ring = self.ring
+                slot = t & RING_MASK
+                bucket = ring[slot]
+                if bucket is None:
+                    ring[slot] = [on_done]
+                    engine._ring_items += 1
+                else:
+                    bucket.append(on_done)
             else:
-                bucket.append(on_done)
+                self.ovf(t, on_done)
             engine._pending += 1
             return
         if self.caches_remote_writes:
@@ -551,16 +623,21 @@ class WritePath:
                     self.charge(packed)
             on_done = self.on_done
             self.on_done = None
-            _obs_write_end(self, engine.now + self.l2_lat)
+            now = engine.now
+            t = now + self.l2_lat
+            _obs_write_end(self, t)
             self.pool.append(self)
-            t = engine.now + self.l2_lat
-            buckets = self.buckets
-            bucket = buckets.get(t)
-            if bucket is None:
-                buckets[t] = [on_done]
-                heappush(self.times, t)
+            if t - now < RING_SIZE:
+                ring = self.ring
+                slot = t & RING_MASK
+                bucket = ring[slot]
+                if bucket is None:
+                    ring[slot] = [on_done]
+                    engine._ring_items += 1
+                else:
+                    bucket.append(on_done)
             else:
-                bucket.append(on_done)
+                self.ovf(t, on_done)
             engine._pending += 1
             return
         # Forward the write to its home socket; drop any stale local copy
@@ -568,17 +645,22 @@ class WritePath:
         if self.holds_remote:
             self.l2.drop(line)
         s.n_remote_writes_forwarded += 1
+        now = engine.now
         arrival = self.switch.send_bytes(
-            engine.now, self.socket_id, self.home_id, DATA_BYTES
+            now, self.socket_id, self.home_id, DATA_BYTES
         )
         self.home = self.owners[self.home_id]
-        buckets = self.buckets
-        bucket = buckets.get(arrival)
-        if bucket is None:
-            buckets[arrival] = [self.st_absorb]
-            heappush(self.times, arrival)
+        if arrival - now < RING_SIZE:
+            ring = self.ring
+            slot = arrival & RING_MASK
+            bucket = ring[slot]
+            if bucket is None:
+                ring[slot] = [self.st_absorb]
+                engine._ring_items += 1
+            else:
+                bucket.append(self.st_absorb)
         else:
-            bucket.append(self.st_absorb)
+            self.ovf(arrival, self.st_absorb)
         engine._pending += 1
 
     def _stage_absorb(self) -> None:
@@ -609,20 +691,25 @@ class WritePath:
             packed = l2.fill_fast(line, 0, True)
             if packed >= 0:
                 h._charge_dirty_eviction(packed)
+        now = engine.now
         if h._l2_write_through:
-            h.dram.access(engine.now, h.line_size, write=True)
+            h.dram.access(now, h.line_size, write=True)
         arrival = h.switch.send_bytes(
-            engine.now, h.socket_id, self.socket_id, CONTROL_BYTES
+            now, h.socket_id, self.socket_id, CONTROL_BYTES
         )
         on_done = self.on_done
         self.on_done = None
         _obs_write_end(self, arrival)
         self.pool.append(self)
-        buckets = self.buckets
-        bucket = buckets.get(arrival)
-        if bucket is None:
-            buckets[arrival] = [on_done]
-            heappush(self.times, arrival)
+        if arrival - now < RING_SIZE:
+            ring = self.ring
+            slot = arrival & RING_MASK
+            bucket = ring[slot]
+            if bucket is None:
+                ring[slot] = [on_done]
+                engine._ring_items += 1
+            else:
+                bucket.append(on_done)
         else:
-            bucket.append(on_done)
+            self.ovf(arrival, on_done)
         engine._pending += 1

@@ -176,8 +176,8 @@ class SimSnapshot:
             socket.restore_state(socket_state)
             if fork and not system.page_table.cacheable:
                 # A dynamic-policy branch must observe every touch; a
-                # warm line->home cache from the prefix would hide them.
-                socket._xlate.clear()
+                # warm line->home record from the prefix would hide them.
+                socket._lines.clear()
         return payload["launcher"]
 
     # ------------------------------------------------------------------

@@ -11,11 +11,15 @@ naturally **per-edge** rather than per-socket.
 Hop programs
 ------------
 Routes are precompiled at construction into a *hop program* per
-``(src, dst)`` socket pair: a tuple of prebound ``admit`` bound methods,
-one per edge crossing, resolved from the deterministic routing tables of
-:mod:`repro.topology.routing`. ``send_bytes`` just threads the clock
-through the program — no per-packet route lookup, direction branch, or
-tuple allocation.
+``(src, dst)`` socket pair: a tuple of flat hop descriptors
+``(edge, resource, forward, latency)``, one per edge crossing, resolved
+from the deterministic routing tables of :mod:`repro.topology.routing`.
+``send_bytes`` unpacks each descriptor and performs the bandwidth
+admission inline — no per-hop Python call, route lookup, or tuple
+allocation per packet. Prebinding the direction's
+:class:`~repro.interconnect.link.BandwidthResource` is safe because
+``set_rate`` (lane turns) mutates the resource in place; the resource
+objects live for the life of the edge.
 
 Determinism (DESIGN.md, "Topology layer")
 -----------------------------------------
@@ -78,72 +82,6 @@ class EdgeLink(DuplexLink):
         self.b_idx = b_idx
         self.a_name = a_name
         self.b_name = b_name
-
-
-class _ForwardHop:
-    """One precompiled ``a -> b`` edge crossing (egress direction)."""
-
-    __slots__ = ("edge", "res", "latency")
-
-    def __init__(self, edge: EdgeLink) -> None:
-        self.edge = edge
-        self.res = edge._res_egress
-        self.latency = edge.latency
-
-    def admit(self, now: float, nbytes: int) -> int:
-        """Admit at ``now``; returns arrival at the far node.
-
-        Inlined from :meth:`repro.interconnect.link.DuplexLink.transfer`
-        (identical arithmetic and counters; packet sizes are fixed
-        positive constants).
-        """
-        edge = self.edge
-        if edge._lanes_egress == 0:
-            edge._raise_emptied(Direction.EGRESS)
-        edge.n_egress_bytes += nbytes
-        edge.n_egress_packets += 1
-        res = self.res
-        next_free = res._next_free
-        start = now if now > next_free else next_free
-        duration = nbytes / res._rate
-        next_free = start + duration
-        res._next_free = next_free
-        res._busy_granted += duration
-        res._bytes_total += nbytes
-        res._transfers += 1
-        whole = int(next_free)
-        done = whole if whole == next_free else whole + 1
-        return done + self.latency
-
-
-class _ReverseHop:
-    """One precompiled ``b -> a`` edge crossing (ingress direction)."""
-
-    __slots__ = ("edge", "res", "latency")
-
-    def __init__(self, edge: EdgeLink) -> None:
-        self.edge = edge
-        self.res = edge._res_ingress
-        self.latency = edge.latency
-
-    def admit(self, now: float, nbytes: int) -> int:
-        edge = self.edge
-        if edge._lanes_ingress == 0:
-            edge._raise_emptied(Direction.INGRESS)
-        edge.n_ingress_bytes += nbytes
-        edge.n_ingress_packets += 1
-        res = self.res
-        next_free = res._next_free
-        start = now if now > next_free else next_free
-        duration = nbytes / res._rate
-        next_free = start + duration
-        res._next_free = next_free
-        res._busy_granted += duration
-        res._bytes_total += nbytes
-        res._transfers += 1
-        whole = int(next_free)
-        done = whole if whole == next_free else whole + 1
-        return done + self.latency
 
 
 class _MonitorPort:
@@ -222,7 +160,8 @@ class MultiHopFabric:
         ]
         self.owners: list = [None] * spec.n_sockets
         # Edge lookup by unordered node pair, then per-(src,dst) hop
-        # programs: tuples of prebound admit() methods.
+        # programs: tuples of flat (edge, resource, forward, latency)
+        # descriptors, admitted inline by send_bytes.
         by_pair: dict[tuple[int, int], EdgeLink] = {}
         for edge in self.edges:
             by_pair[(edge.a_idx, edge.b_idx)] = edge
@@ -239,20 +178,22 @@ class MultiHopFabric:
                     row.append(())
                     hops_row.append(0)
                     continue
-                admits = []
+                hops = []
                 node = src
                 while node != dst:
                     peer = next_hop[node][dst]
                     edge = by_pair[(node, peer)]
-                    hop = (
-                        _ForwardHop(edge)
-                        if edge.a_idx == node
-                        else _ReverseHop(edge)
-                    )
-                    admits.append(hop.admit)
+                    if edge.a_idx == node:
+                        hops.append(
+                            (edge, edge._res_egress, True, edge.latency)
+                        )
+                    else:
+                        hops.append(
+                            (edge, edge._res_ingress, False, edge.latency)
+                        )
                     node = peer
-                row.append(tuple(admits))
-                hops_row.append(len(admits))
+                row.append(tuple(hops))
+                hops_row.append(len(hops))
             programs.append(row)
             route_hops.append(hops_row)
         self._programs = programs
@@ -284,13 +225,37 @@ class MultiHopFabric:
         Every hop is admitted here, at the send event, starting at the
         previous hop's arrival (the crossbar's two-hop closed-form
         convention generalized; see the module docstring for why this
-        composes with mid-route ``set_rate``).
+        composes with mid-route ``set_rate``). The per-hop admission is
+        inlined from :meth:`repro.interconnect.link.DuplexLink.transfer`
+        — identical arithmetic and counters; packet sizes are fixed
+        positive constants — so a route costs one Python frame no matter
+        its hop count.
         """
         if src == dst:
             raise InterconnectError(f"fabric asked to route {src} -> {dst}")
         t = now
-        for admit in self._programs[src][dst]:
-            t = admit(t, nbytes)
+        for edge, res, forward, latency in self._programs[src][dst]:
+            if forward:
+                if edge._lanes_egress == 0:
+                    edge._raise_emptied(Direction.EGRESS)
+                edge.n_egress_bytes += nbytes
+                edge.n_egress_packets += 1
+            else:
+                if edge._lanes_ingress == 0:
+                    edge._raise_emptied(Direction.INGRESS)
+                edge.n_ingress_bytes += nbytes
+                edge.n_ingress_packets += 1
+            next_free = res._next_free
+            start = t if t > next_free else next_free
+            duration = nbytes / res._rate
+            next_free = start + duration
+            res._next_free = next_free
+            res._busy_granted += duration
+            res._bytes_total += nbytes
+            res._transfers += 1
+            whole = int(next_free)
+            done = whole if whole == next_free else whole + 1
+            t = done + latency
         self.n_packets += 1
         self.n_bytes += nbytes
         hops = self._route_hops[src][dst]

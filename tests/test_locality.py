@@ -39,6 +39,7 @@ from repro.metrics.export import result_from_json_dict, result_to_json_dict
 from repro.runtime.kernel import KernelWork
 from repro.runtime.scheduler import assign_ctas
 from repro.gpu.cta import MemOp, Slice
+from repro.gpu.socket import _LineRec
 from repro.topology.spec import build_topology, mesh2d, switch_tree
 from repro.workloads.spec import SCALES
 from repro.workloads.suite import get_workload
@@ -315,10 +316,13 @@ def test_re_home_charges_the_fabric_and_invalidates_caches():
     system = build_system(config)
     table = system.page_table
     fabric = system.fabric
-    # Prime a victim line cache entry so the invalidation is observable
-    # (the socket registered its cache with the page table at build).
-    cache = system.sockets[3]._xlate
-    cache[0] = 1
+    # Prime a victim line record so the invalidation is observable
+    # (the socket registered its record dict with the page table at
+    # build).
+    cache = system.sockets[3]._lines
+    rec = _LineRec()
+    rec.home = 1
+    cache[0] = rec
     before = fabric.n_bytes
     table.translate(0, accessor=1)  # claim at socket 1
     table.translate(0, accessor=2)
@@ -413,7 +417,7 @@ def test_dynamic_policy_disables_translation_cache_fill():
     )
     assert result.cycles > 0
     for socket in system.sockets:
-        assert socket._xlate == {}  # never filled under a dynamic policy
+        assert socket._lines == {}  # never filled under a dynamic policy
 
 
 # ---------------------------------------------------------------------------

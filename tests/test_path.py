@@ -186,26 +186,29 @@ def test_fill_fast_counters_match_fill():
 
 
 # ---------------------------------------------------------------------------
-# MSHR single-waiter fast path
+# MSHR single-waiter fast path (waiters live on the in-flight walker)
 # ---------------------------------------------------------------------------
 
-def test_single_waiter_is_a_bare_tuple():
+def test_single_waiter_lives_on_the_walker():
     (s0, _s1), engine, _ = build_pair()
     s0.access(0, 0, False, lambda: None)
-    entry = s0._pending_reads[0]
-    assert type(entry) is tuple and entry[0] == 0
+    rec = s0._lines[0]
+    rp = rec.rp
+    assert isinstance(rp, ReadPath)
+    assert rp.w_sm == 0 and rp.w_more is None  # no coalesce list yet
     engine.run()
-    assert 0 not in s0._pending_reads
+    assert s0._lines[0].rp is None  # fetch completed, MSHR cleared
 
 
-def test_coalesced_waiters_promote_to_a_list_in_arrival_order():
+def test_coalesced_waiters_append_to_the_walker_in_arrival_order():
     (s0, _s1), engine, _ = build_pair()
     done = []
     s0.access(0, 0, False, lambda: done.append("a"))
     s0.access(1, 0, False, lambda: done.append("b"))
     s0.access(1, 0, False, lambda: done.append("c"))
-    entry = s0._pending_reads[0]
-    assert type(entry) is list and [sm for sm, _ in entry] == [0, 1, 1]
+    rp = s0._lines[0].rp
+    # Flat [sm, cb, sm, cb] pairs behind the first waiter (w_sm).
+    assert [rp.w_sm] + rp.w_more[0::2] == [0, 1, 1]
     assert s0.stats["reads_coalesced"] == 2
     engine.run()
     assert done == ["a", "b", "c"]
@@ -213,6 +216,8 @@ def test_coalesced_waiters_promote_to_a_list_in_arrival_order():
     assert s0.sms[0].l1.contains(0)
     assert s0.sms[1].l1.contains(0)
     assert s0.sms[1].l1.stats["fills"] == 1
+    # The coalesce list was recycled through the socket's pool.
+    assert s0._waiter_pool == [[]]
 
 
 def test_writepath_clears_its_callback_on_release():

@@ -10,7 +10,7 @@ from dataclasses import replace
 import pytest
 
 from repro.config import PlacementPolicy, scaled_config
-from repro.gpu.socket import GpuSocket
+from repro.gpu.socket import make_socket
 from repro.interconnect.switch import Switch
 from repro.memory.page_table import PageTable
 from repro.runtime.uvm import UvmManager
@@ -26,7 +26,8 @@ def build_sockets(placement=PlacementPolicy.FIRST_TOUCH, n_sockets=2):
     table = PageTable(config)
     switch = Switch(n_sockets, config.link, engine) if n_sockets > 1 else None
     sockets = [
-        GpuSocket(s, config, engine, table, switch) for s in range(n_sockets)
+        make_socket(s, config, engine, table, switch)
+        for s in range(n_sockets)
     ]
     if switch is not None:
         switch.owners = list(sockets)
@@ -42,7 +43,7 @@ def test_access_populates_translation_cache_and_skips_translate():
     line = addr // s0.line_size
     s0.access(0, addr, False, lambda: None)
     engine.run()
-    assert s0._xlate[line] == 0
+    assert s0._lines[line].home == 0
     translations_before = table.n_translations
     s0.access(0, addr, False, lambda: None)
     engine.run()
@@ -58,17 +59,17 @@ def test_invalidate_page_drops_lines_in_all_sockets():
     sockets[0].access(0, sockets[0].line_size, False, lambda: None)
     sockets[1].access(0, 2 * sockets[0].line_size, False, lambda: None)
     engine.run()
-    assert len(sockets[0]._xlate) == 2
-    assert len(sockets[1]._xlate) == 1
+    assert len(sockets[0]._lines) == 2
+    assert len(sockets[1]._lines) == 1
     removed = table.invalidate_page(0)
     assert removed == 3
-    assert sockets[0]._xlate == {} and sockets[1]._xlate == {}
+    assert sockets[0]._lines == {} and sockets[1]._lines == {}
     # Lines of other pages survive.
     sockets[0].access(0, page_size, False, lambda: None)
     engine.run()
-    assert len(sockets[0]._xlate) == 1
+    assert len(sockets[0]._lines) == 1
     assert table.invalidate_page(0) == 0
-    assert len(sockets[0]._xlate) == 1
+    assert len(sockets[0]._lines) == 1
     assert table.n_translation_invalidations == 3
 
 
@@ -79,13 +80,13 @@ def test_retranslation_after_invalidation_sees_new_home():
     s0 = sockets[0]
     s0.access(0, 0, False, lambda: None)
     engine.run()
-    assert s0._xlate[0] == 0
+    assert s0._lines[0].home == 0
     page = 0
     table.placement._page_home[page] = 1  # the migration itself
     table.invalidate_page(page)
     s0.access(0, 0, False, lambda: None)
     engine.run()
-    assert s0._xlate[0] == 1
+    assert s0._lines[0].home == 1
     assert s0.n_remote_accesses >= 1
 
 
@@ -98,7 +99,7 @@ def test_uvm_prefetch_invalidates_newly_pinned_pages():
     s0.access(0, 0, False, lambda: None)
     engine.run()
     # The pinned page belongs to socket 1: socket 0 sees a remote access.
-    assert s0._xlate[0] == 1
+    assert s0._lines[0].home == 1
     assert s0.n_remote_accesses == 1
 
 
@@ -111,7 +112,7 @@ def test_first_touch_single_socket_is_never_cached():
     assert not s0._always_local
     s0.access(0, 0, False, lambda: None)
     engine.run()
-    assert s0._xlate == {}
+    assert s0._lines == {}
     before = table.n_faults
     s0.access(0, 0, False, lambda: None)
     engine.run()
